@@ -1,0 +1,80 @@
+package profess
+
+import (
+	"testing"
+
+	"profess/internal/trace"
+)
+
+// TestRSMHelpsTheSufferer builds the adversarial two-program scenario the
+// paper's intuition is about (§3.1): a bandwidth hog that streams through
+// a huge footprint and constantly steals M1 via promotions, next to a
+// smaller latency-sensitive program with a stable hot set. Pure MDM
+// optimises throughput and lets the hog churn M1; ProFess's RSM should
+// detect that the small program suffers more from the competition and
+// protect/help its blocks — reducing the victim's slowdown.
+func TestRSMHelpsTheSufferer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := MultiCoreConfig(PaperScale)
+	cfg.Instructions = 400_000
+
+	hog := ProgramSpec{
+		Name: "hog",
+		Params: trace.Params{
+			Name: "hog", Footprint: 24 << 20, Pattern: trace.Stream,
+			WriteFrac: 0.4, GapMean: 24, Streams: 16, LinesPerTouch: 1, Seed: 11,
+		},
+	}
+	victim := ProgramSpec{
+		Name: "victim",
+		Params: trace.Params{
+			Name: "victim", Footprint: 4 << 20, Pattern: trace.PointerChase,
+			WriteFrac: 0.2, GapMean: 30, HotFrac: 0.05, HotProb: 0.7,
+			DepFrac: 0.7, LinesPerTouch: 3, RecentProb: 0.5, RecentWindow: 32, Seed: 12,
+		},
+	}
+	specs := []ProgramSpec{hog, victim}
+
+	victimSdn := func(scheme Scheme) (float64, float64) {
+		t.Helper()
+		// Stand-alone baselines under the same scheme.
+		var alone [2]float64
+		for i, s := range specs {
+			res, err := RunSpecs([]ProgramSpec{s}, scheme, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alone[i] = res.PerCore[0].FirstIPC
+		}
+		res, err := RunSpecs(specs, scheme, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Slowdown(alone[1], res.PerCore[1].FirstIPC),
+			Slowdown(alone[0], res.PerCore[0].FirstIPC)
+	}
+
+	mdmVictim, mdmHog := victimSdn(SchemeMDM)
+	pfVictim, pfHog := victimSdn(SchemeProFess)
+	t.Logf("victim slowdown: mdm=%.3f profess=%.3f | hog slowdown: mdm=%.3f profess=%.3f",
+		mdmVictim, pfVictim, mdmHog, pfHog)
+
+	// ProFess must not leave the victim meaningfully worse off than MDM,
+	// and the overall unfairness (max of the two) must not grow.
+	if pfVictim > mdmVictim*1.05 {
+		t.Errorf("ProFess left the victim worse off: %.3f vs MDM %.3f", pfVictim, mdmVictim)
+	}
+	mdmMax := mdmVictim
+	if mdmHog > mdmMax {
+		mdmMax = mdmHog
+	}
+	pfMax := pfVictim
+	if pfHog > pfMax {
+		pfMax = pfHog
+	}
+	if pfMax > mdmMax*1.05 {
+		t.Errorf("ProFess unfairness %.3f exceeds MDM's %.3f", pfMax, mdmMax)
+	}
+}

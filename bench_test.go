@@ -1,0 +1,295 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark regenerates its experiment at a reduced
+// instruction budget and reports the figure's headline quantities via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation. cmd/professbench runs the same experiments
+// with configurable budgets and full tabular output; EXPERIMENTS.md records
+// paper-vs-measured values. Metric naming: ratios are <metric>/PoM-style
+// normalisations exactly as the paper plots them (Figs. 5, 10-15).
+package profess
+
+import (
+	"testing"
+
+	"profess/internal/stats"
+)
+
+// benchOpts returns fast experiment settings for benchmarks.
+func benchOpts() ExpOptions {
+	return ExpOptions{Instructions: 400_000, Parallelism: 1}
+}
+
+// benchMultiOpts restricts the multi-program benches to the three
+// workloads the paper discusses individually (w09, w12, w19) to keep
+// -bench=. tractable; professbench covers all nineteen.
+func benchMultiOpts() ExpOptions {
+	o := benchOpts()
+	o.Workloads = []string{"w09", "w12", "w19"}
+	return o
+}
+
+func reportSeries(b *testing.B, name string, series map[string]float64) {
+	b.Helper()
+	if g := GeoMeanSeries(series); g > 0 {
+		b.ReportMetric(g, name)
+	}
+}
+
+func BenchmarkFig02_SlowdownsUnderPoM(b *testing.B) {
+	opts := benchMultiOpts()
+	opts.Workloads = []string{"w09"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunMultiProgram([]Scheme{SchemePoM}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, _ := rep.Cell("w09", SchemePoM)
+		b.ReportMetric(c.MaxSlowdown, "maxSlowdown-w09")
+		b.ReportMetric(stats.Max(c.Slowdowns)-stats.Min(c.Slowdowns), "slowdownSpread-w09")
+	}
+}
+
+func BenchmarkTable04_SamplingAccuracy(b *testing.B) {
+	opts := benchOpts()
+	opts.Programs = []string{"milc"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSamplingAccuracy(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rep.Cells {
+			if c.MSamp == 4096 { // the scaled 128K default
+				b.ReportMetric(c.SigmaRawSFA, "sigmaRawSFA-milc-%")
+				b.ReportMetric(c.SigmaAvgSFA, "sigmaAvgSFA-milc-%")
+			}
+		}
+	}
+}
+
+// fig567 runs the shared single-program experiment of Figs. 5-7.
+func fig567(b *testing.B) *SingleProgramReport {
+	b.Helper()
+	rep, err := RunSinglePrograms([]Scheme{SchemePoM, SchemeMDM}, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func BenchmarkFig05_SingleProgramIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fig567(b)
+		ratios := rep.Ratios(SchemeMDM, SchemePoM, "ipc")
+		reportSeries(b, "IPC-MDM/PoM-gmean", ratios)
+		var xs []float64
+		for _, v := range ratios {
+			xs = append(xs, v)
+		}
+		b.ReportMetric(stats.Max(xs), "IPC-MDM/PoM-max")
+	}
+}
+
+func BenchmarkFig06_M1ServedFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fig567(b)
+		reportSeries(b, "M1frac-MDM/PoM-gmean", rep.Ratios(SchemeMDM, SchemePoM, "m1frac"))
+	}
+}
+
+func BenchmarkFig07_STCHitRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fig567(b)
+		for _, prog := range []string{"mcf", "omnetpp", "lbm"} {
+			if row, ok := rep.row(prog, SchemeMDM); ok {
+				b.ReportMetric(row.STCHitRate, "stcHit-"+prog)
+			}
+		}
+	}
+}
+
+// fig89 runs the shared STC-size experiment of Figs. 8-9 on the programs
+// the paper highlights.
+func fig89(b *testing.B) *STCSensitivityReport {
+	b.Helper()
+	opts := benchOpts()
+	opts.Programs = []string{"mcf", "omnetpp", "soplex"}
+	rep, err := RunSTCSensitivity(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func BenchmarkFig08_STCSizeIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fig89(b)
+		base := map[string]float64{}
+		for _, r := range rep.Rows {
+			if r.STCEntries == rep.Default {
+				base[r.Program] = r.IPC
+			}
+		}
+		for _, r := range rep.Rows {
+			if r.STCEntries == rep.Default/2 && r.Program == "mcf" {
+				b.ReportMetric(Ratio(r.IPC, base["mcf"]), "IPC-halfSTC/default-mcf")
+			}
+		}
+	}
+}
+
+func BenchmarkFig09_STCSizeHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := fig89(b)
+		for _, r := range rep.Rows {
+			if r.Program == "mcf" {
+				switch r.STCEntries {
+				case rep.Default / 2:
+					b.ReportMetric(r.STCHitRate, "stcHit-mcf-half")
+				case rep.Default:
+					b.ReportMetric(r.STCHitRate, "stcHit-mcf-default")
+				case rep.Default * 2:
+					b.ReportMetric(r.STCHitRate, "stcHit-mcf-double")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSensTWR_M2WriteLatency(b *testing.B) {
+	opts := benchOpts()
+	opts.Programs = []string{"lbm", "mcf", "milc"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunTWRSensitivity(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range rep.Points {
+			b.ReportMetric(p.GeoMeanRatio, "IPC-MDM/PoM-tWR"+p.Setting)
+		}
+	}
+}
+
+func BenchmarkSensRatio_M1M2Capacity(b *testing.B) {
+	opts := benchOpts()
+	opts.Programs = []string{"lbm", "mcf", "soplex"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunRatioSensitivity(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range rep.Points {
+			b.ReportMetric(p.GeoMeanRatio, "IPC-MDM/PoM-"+p.Setting)
+		}
+	}
+}
+
+// multiReport runs the shared quad-core experiment of Figs. 10-15.
+func multiReport(b *testing.B, schemes []Scheme) *MultiProgramReport {
+	b.Helper()
+	rep, err := RunMultiProgram(schemes, benchMultiOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func BenchmarkFig10_MaxSlowdownMDM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
+		reportSeries(b, "maxSdn-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "maxsdn"))
+	}
+}
+
+func BenchmarkFig11_WeightedSpeedupMDM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
+		reportSeries(b, "WS-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "ws"))
+	}
+}
+
+func BenchmarkFig12_EnergyEfficiencyMDM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
+		reportSeries(b, "energyEff-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "energy"))
+	}
+}
+
+func BenchmarkFig13_MaxSlowdownProFess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
+		reportSeries(b, "maxSdn-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "maxsdn"))
+	}
+}
+
+func BenchmarkFig14_WeightedSpeedupProFess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
+		reportSeries(b, "WS-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "ws"))
+		reportSeries(b, "swapFrac-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "swapfrac"))
+	}
+}
+
+func BenchmarkFig15_EnergyEfficiencyProFess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
+		reportSeries(b, "energyEff-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "energy"))
+	}
+}
+
+func BenchmarkFig16_SlowdownDetail(b *testing.B) {
+	opts := benchMultiOpts()
+	opts.Workloads = []string{"w09"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunMultiProgram([]Scheme{SchemePoM, SchemeMDM, SchemeProFess}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range []Scheme{SchemePoM, SchemeMDM, SchemeProFess} {
+			if c, ok := rep.Cell("w09", s); ok {
+				b.ReportMetric(c.MaxSlowdown, "maxSdn-w09-"+string(s))
+			}
+		}
+	}
+}
+
+func BenchmarkMemPod_AMMATvsPoM(b *testing.B) {
+	opts := benchOpts()
+	opts.Programs = []string{"lbm", "milc", "soplex"}
+	opts.Workloads = []string{"w09"}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunMemPodComparison(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var xs []float64
+		for _, v := range rep.SingleRatio {
+			xs = append(xs, v)
+		}
+		b.ReportMetric(stats.GeoMean(xs), "AMMAT-MemPod/PoM-single-gmean")
+		xs = xs[:0]
+		for _, v := range rep.MultiRatio {
+			xs = append(xs, v)
+		}
+		b.ReportMetric(stats.GeoMean(xs), "AMMAT-MemPod/PoM-multi-gmean")
+	}
+}
+
+func BenchmarkTable02_AllAlgorithms(b *testing.B) {
+	opts := benchMultiOpts()
+	opts.Workloads = []string{"w09"}
+	schemes := []Scheme{SchemePoM, SchemeCAMEO, SchemeSILCFM, SchemeMemPod, SchemeMDM, SchemeProFess}
+	for i := 0; i < b.N; i++ {
+		rep, err := RunMultiProgram(schemes, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range schemes {
+			if c, ok := rep.Cell("w09", s); ok {
+				b.ReportMetric(c.WeightedSpeedup, "WS-w09-"+string(s))
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command professbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each experiment is
+// addressable by id; "all" runs the full set.
+//
+// Usage:
+//
+//	professbench -exp fig5
+//	professbench -exp all -instr 2000000
+//	professbench -exp fig13,fig14,fig15 -workloads w09,w12,w19
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"profess"
+)
+
+// experiment binds an id to its driver.
+type experiment struct {
+	id    string
+	about string
+	run   func(opts profess.ExpOptions) (fmt.Stringer, error)
+}
+
+func experiments() []experiment {
+	singleBoth := func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		return profess.RunSinglePrograms([]profess.Scheme{profess.SchemePoM, profess.SchemeMDM}, opts)
+	}
+	multiAll := func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		return profess.RunMultiProgram([]profess.Scheme{profess.SchemePoM, profess.SchemeMDM, profess.SchemeProFess}, opts)
+	}
+	return []experiment{
+		{"fig2", "slowdowns under PoM for w09, w16, w19", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			if len(opts.Workloads) == 0 {
+				opts.Workloads = []string{"w09", "w16", "w19"}
+			}
+			rep, err := profess.RunMultiProgram([]profess.Scheme{profess.SchemePoM}, opts)
+			if err != nil {
+				return nil, err
+			}
+			return stringer(rep.SlowdownDetailString(opts.Workloads)), nil
+		}},
+		{"table4", "RSM sampling accuracy (bwaves, milc, omnetpp)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunSamplingAccuracy(opts)
+		}},
+		{"fig5", "single-program MDM vs PoM IPC (also fig6/fig7 data)", singleBoth},
+		{"fig6", "single-program M1-served fraction (same run as fig5)", singleBoth},
+		{"fig7", "single-program STC hit rates (same run as fig5)", singleBoth},
+		{"fig8", "MDM sensitivity to STC size (also fig9 data)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunSTCSensitivity(opts)
+		}},
+		{"fig9", "STC hit rates vs STC size (same run as fig8)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunSTCSensitivity(opts)
+		}},
+		{"sens-twr", "MDM vs PoM under t_WR_M2 x0.5 / x1 / x2", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunTWRSensitivity(opts)
+		}},
+		{"sens-ratio", "MDM vs PoM at M1:M2 = 1:4 / 1:8 / 1:16", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunRatioSensitivity(opts)
+		}},
+		{"fig10", "multi-program MDM & ProFess vs PoM (figs 10-15 data)", multiAll},
+		{"fig11", "see fig10", multiAll},
+		{"fig12", "see fig10", multiAll},
+		{"fig13", "see fig10", multiAll},
+		{"fig14", "see fig10", multiAll},
+		{"fig15", "see fig10", multiAll},
+		{"fig16", "per-program slowdowns for w09, w16, w19 under all schemes", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			if len(opts.Workloads) == 0 {
+				opts.Workloads = []string{"w09", "w16", "w19"}
+			}
+			rep, err := profess.RunMultiProgram([]profess.Scheme{profess.SchemePoM, profess.SchemeMDM, profess.SchemeProFess}, opts)
+			if err != nil {
+				return nil, err
+			}
+			return stringer(rep.SlowdownDetailString(opts.Workloads)), nil
+		}},
+		{"mempod", "MemPod AMMAT vs PoM (§2.5 observation)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			if len(opts.Workloads) == 0 {
+				opts.Workloads = []string{"w02", "w09", "w12", "w19"}
+			}
+			return profess.RunMemPodComparison(opts)
+		}},
+		{"algos", "all Table 2 algorithms compared on selected workloads", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			if len(opts.Workloads) == 0 {
+				opts.Workloads = []string{"w09", "w12", "w19"}
+			}
+			return profess.RunMultiProgram(
+				[]profess.Scheme{profess.SchemePoM, profess.SchemeCAMEO, profess.SchemeSILCFM,
+					profess.SchemeMemPod, profess.SchemeMDM, profess.SchemeProFess}, opts)
+		}},
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
+		instr = flag.Int64("instr", 2_000_000, "instructions per program run")
+		scale = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
+		wls   = flag.String("workloads", "", "restrict workloads (comma separated)")
+		progs = flag.String("programs", "", "restrict programs (comma separated)")
+		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of tables where supported")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range exps {
+			fmt.Printf("  %-10s %s\n", e.id, e.about)
+		}
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := profess.ExpOptions{
+		Scale:        *scale,
+		Instructions: *instr,
+		Parallelism:  *par,
+	}
+	if *wls != "" {
+		opts.Workloads = strings.Split(*wls, ",")
+	}
+	if *progs != "" {
+		opts.Programs = strings.Split(*progs, ",")
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	runAll := want["all"]
+
+	// Deduplicate experiments that share a driver run (fig5/6/7 and
+	// fig10..15 print from the same report) when running "all".
+	ranAbout := map[string]bool{}
+	for _, e := range exps {
+		if !(runAll || want[e.id]) {
+			continue
+		}
+		if runAll && ranAbout[e.about] {
+			continue
+		}
+		ranAbout[e.about] = true
+		fmt.Printf("==== %s: %s ====\n", e.id, e.about)
+		rep, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "professbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if c, ok := rep.(profess.CSVer); ok {
+				fmt.Println(c.CSV())
+				continue
+			}
+		}
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Command professim runs one simulation — a single Table 9 program or a
+// Table 10 workload — under a chosen migration scheme and prints the
+// figures of merit.
+//
+// Usage:
+//
+//	professim -program lbm -scheme mdm
+//	professim -workload w09 -scheme profess -instr 2000000
+//	professim -workload w09 -schemes pom,mdm,profess
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"profess"
+	"profess/internal/stats"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "", "single Table 9 program to run (e.g. lbm)")
+		mix      = flag.String("workload", "", "Table 10 workload to run (e.g. w09)")
+		scheme   = flag.String("scheme", "profess", "migration scheme")
+		schemes  = flag.String("schemes", "", "comma-separated schemes to compare (overrides -scheme)")
+		instr    = flag.Int64("instr", 2_000_000, "instructions per program run")
+		scale    = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
+		ratio    = flag.Int("ratio", 0, "override M1:M2 ratio (e.g. 4 for 1:4)")
+		twr      = flag.Float64("twr", 1, "M2 write-recovery latency factor")
+		baseline = flag.Bool("baselines", true, "for workloads: run stand-alone baselines and report slowdowns")
+		threads  = flag.Int("threads", 1, "for -program: run it multi-threaded (§3.1.1)")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
+		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+	if (*program == "") == (*mix == "") {
+		fmt.Fprintln(os.Stderr, "professim: exactly one of -program or -workload is required (see -list)")
+		os.Exit(2)
+	}
+
+	var schemeList []profess.Scheme
+	if *schemes != "" {
+		for _, s := range strings.Split(*schemes, ",") {
+			schemeList = append(schemeList, profess.Scheme(strings.TrimSpace(s)))
+		}
+	} else {
+		schemeList = []profess.Scheme{profess.Scheme(*scheme)}
+	}
+
+	var cfg profess.Config
+	if *program != "" && *threads <= 1 {
+		cfg = profess.SingleCoreConfig(*scale)
+	} else {
+		// Workloads, and multi-threaded single programs, need the
+		// quad-core system.
+		cfg = profess.MultiCoreConfig(*scale)
+	}
+	cfg.Instructions = *instr
+	cfg.M2TWRFactor = *twr
+	if *ratio > 0 {
+		cfg = cfg.WithM1Ratio(*ratio)
+	}
+
+	if *program != "" {
+		runSingle(*program, schemeList, cfg, *threads, *jsonOut)
+		return
+	}
+	runWorkload(*mix, schemeList, cfg, *baseline)
+}
+
+func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, threads int, jsonOut bool) {
+	spec, err := profess.SpecFor(program, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Threads = threads
+	t := stats.NewTable("scheme", "IPC", "M1 frac", "STC hit", "read lat", "p99 lat", "swaps", "energy eff")
+	for _, s := range schemes {
+		res, err := profess.RunSpecs([]profess.ProgramSpec{spec}, s, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if jsonOut {
+			out, err := profess.ResultJSON(res)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
+			continue
+		}
+		c := res.PerCore[0]
+		t.AddRowf(string(s), c.IPC, c.M1Fraction, c.STCHitRate, c.AvgReadLat, c.ReadLatP99, c.Swaps, res.EnergyEff)
+	}
+	if !jsonOut {
+		fmt.Printf("program %s (%d instructions, %d thread(s), scale %.4f)\n\n%s",
+			program, cfg.Instructions, threads, cfg.Scale, t.String())
+	}
+}
+
+func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, baselines bool) {
+	cache := profess.NewBaselineCache()
+	fmt.Printf("workload %s (%d instructions per program, scale %.4f)\n\n", name, cfg.Instructions, cfg.Scale)
+	for _, s := range schemes {
+		if !baselines {
+			res, err := profess.RunMix(name, s, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			t := stats.NewTable("program", "IPC", "M1 frac", "repeats")
+			for _, c := range res.PerCore {
+				t.AddRowf(c.Program, c.IPC, c.M1Fraction, c.Repeats)
+			}
+			fmt.Printf("scheme %s: swapFrac=%.4f stcHit=%.3f energyEff=%.3g\n%s\n",
+				s, res.SwapFraction, res.STCHitRate, res.EnergyEff, t.String())
+			continue
+		}
+		wr, err := profess.RunWorkload(name, s, cfg, cache)
+		if err != nil {
+			fatal(err)
+		}
+		t := stats.NewTable("program", "IPC", "IPC alone", "slowdown", "M1 frac")
+		for i, c := range wr.Result.PerCore {
+			t.AddRowf(c.Program, c.FirstIPC, wr.AloneIPC[i], wr.Slowdowns[i], c.M1Fraction)
+		}
+		fmt.Printf("scheme %s: weighted speedup=%.3f  max slowdown=%.3f  swap frac=%.4f  energy eff=%.3g\n%s\n",
+			s, wr.WeightedSpeedup, wr.MaxSlowdown, wr.Result.SwapFraction, wr.Result.EnergyEff, t.String())
+	}
+}
+
+func printCatalog() {
+	fmt.Println("programs (Table 9):")
+	for _, p := range profess.Programs() {
+		fmt.Printf("  %-12s MPKI=%-3.0f footprint=%3.0fMB pattern=%s\n",
+			p.Name, p.PaperMPKI, p.PaperFootprintMB, p.Pattern)
+	}
+	fmt.Println("workloads (Table 10):")
+	for _, w := range profess.Workloads() {
+		fmt.Printf("  %s: %s\n", w.Name, strings.Join(w.Programs[:], " - "))
+	}
+	fmt.Println("schemes:")
+	for _, s := range profess.Schemes() {
+		fmt.Printf("  %s\n", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "professim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Capacity sweep: the §5.2 sensitivity study as a library user would run
+// it — sweep the M1:M2 capacity ratio (keeping M2 fixed) and watch how
+// the benefit of smart migration shrinks as M1 grows.
+//
+//	go run ./examples/capacity-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"profess"
+)
+
+func main() {
+	base := profess.SingleCoreConfig(profess.PaperScale)
+	base.Instructions = 800_000
+
+	programs := []string{"lbm", "mcf", "soplex"}
+	fmt.Println("MDM vs PoM IPC across M1:M2 capacity ratios (M2 fixed)")
+	fmt.Printf("%-8s", "ratio")
+	for _, p := range programs {
+		fmt.Printf("  %-10s", p)
+	}
+	fmt.Println()
+
+	for _, n := range []int{4, 8, 16} {
+		cfg := base.WithM1Ratio(n)
+		fmt.Printf("1:%-6d", n)
+		for _, p := range programs {
+			pom, err := profess.RunProgram(p, profess.SchemePoM, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mdm, err := profess.RunProgram(p, profess.SchemeMDM, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := mdm.PerCore[0].IPC / pom.PerCore[0].IPC
+			fmt.Printf("  %-10.3f", ratio)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Expected shape: a larger M1 (1:4) relaxes the competition and")
+	fmt.Println("narrows MDM's edge; a smaller M1 (1:16) preserves or widens it.")
+}

@@ -1,0 +1,314 @@
+package profess
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyExp keeps driver smoke tests fast: two programs, one workload,
+// small budget.
+func tinyExp() ExpOptions {
+	return ExpOptions{
+		Instructions: 150_000,
+		Programs:     []string{"lbm", "soplex"},
+		Workloads:    []string{"w02"},
+	}
+}
+
+func TestRunSinglePrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunSinglePrograms([]Scheme{SchemePoM, SchemeMDM}, tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 programs x 2 schemes", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.IPC <= 0 {
+			t.Errorf("%s/%s: IPC %v", r.Program, r.Scheme, r.IPC)
+		}
+	}
+	ratios := rep.Ratios(SchemeMDM, SchemePoM, "ipc")
+	if len(ratios) != 2 {
+		t.Errorf("ratios = %v", ratios)
+	}
+	if _, ok := rep.row("lbm", SchemeMDM); !ok {
+		t.Error("row lookup failed")
+	}
+	if s := rep.String(); !strings.Contains(s, "lbm") || !strings.Contains(s, "Fig. 5") {
+		t.Error("String output incomplete")
+	}
+	// Unknown metric yields zeros.
+	for _, v := range rep.Ratios(SchemeMDM, SchemePoM, "bogus") {
+		if v != 0 {
+			t.Error("bogus metric should be zero")
+		}
+	}
+}
+
+func TestRunSingleProgramsSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := tinyExp()
+	opts.Programs = []string{"soplex"}
+	opts.Seeds = 3
+	rep, err := RunSinglePrograms([]Scheme{SchemeMDM}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Rows[0]
+	if r.IPC <= 0 {
+		t.Fatalf("mean IPC %v", r.IPC)
+	}
+	// Different seeds should produce *some* variation, and the spread
+	// should be small relative to the mean (the generators are stable).
+	if r.IPCStdDev <= 0 {
+		t.Error("expected non-zero spread across seeds")
+	}
+	if r.IPCStdDev > r.IPC/2 {
+		t.Errorf("spread %v implausibly large vs mean %v", r.IPCStdDev, r.IPC)
+	}
+}
+
+func TestRunSTCSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunSTCSensitivity(tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 programs x 3 sizes", len(rep.Rows))
+	}
+	sizes := map[int]bool{}
+	for _, r := range rep.Rows {
+		sizes[r.STCEntries] = true
+		if r.STCHitRate <= 0 || r.STCHitRate > 1 {
+			t.Errorf("hit rate %v", r.STCHitRate)
+		}
+	}
+	if !sizes[rep.Default] || !sizes[rep.Default/2] || !sizes[rep.Default*2] {
+		t.Errorf("sizes = %v around default %d", sizes, rep.Default)
+	}
+	if rep.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunSamplingAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := tinyExp()
+	opts.Programs = []string{"bwaves"}
+	opts.Instructions = 400_000
+	rep, err := RunSamplingAccuracy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3 sampling periods", len(rep.Cells))
+	}
+	// Larger M_samp must not increase the region spread (Table 4 trend).
+	if rep.Cells[0].MeanSigmaReq < rep.Cells[2].MeanSigmaReq {
+		t.Errorf("sigma_req should shrink with M_samp: %+v", rep.Cells)
+	}
+	// bwaves runs uncontended: mean raw SF_A ~ 1.
+	for _, c := range rep.Cells {
+		if c.Periods > 0 && (c.MeanRawSFA < 0.8 || c.MeanRawSFA > 1.2) {
+			t.Errorf("uncontended SF_A mean %v at M_samp %d", c.MeanRawSFA, c.MSamp)
+		}
+	}
+	if rep.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTWRSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunTWRSensitivity(tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.GeoMeanRatio <= 0 {
+			t.Errorf("point %s ratio %v", p.Setting, p.GeoMeanRatio)
+		}
+	}
+	if rep.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunRatioSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunRatioSensitivity(tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	names := []string{"1:4", "1:8", "1:16"}
+	for i, p := range rep.Points {
+		if p.Setting != names[i] {
+			t.Errorf("point %d = %s", i, p.Setting)
+		}
+	}
+}
+
+func TestRunMultiProgramDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := tinyExp()
+	rep, err := RunMultiProgram([]Scheme{SchemePoM, SchemeProFess}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d", len(rep.Cells))
+	}
+	c, ok := rep.Cell("w02", SchemeProFess)
+	if !ok {
+		t.Fatal("cell lookup failed")
+	}
+	if len(c.Slowdowns) != 4 || len(c.Programs) != 4 {
+		t.Errorf("cell shape: %+v", c)
+	}
+	series := rep.NormalisedSeries(SchemeProFess, SchemePoM, "ws")
+	if len(series) != 1 || series["w02"] <= 0 {
+		t.Errorf("series = %v", series)
+	}
+	if g := GeoMeanSeries(series); g != series["w02"] {
+		t.Errorf("gmean of singleton = %v", g)
+	}
+	if s := rep.String(); !strings.Contains(s, "w02") {
+		t.Error("render incomplete")
+	}
+	if d := rep.SlowdownDetailString([]string{"w02"}); !strings.Contains(d, "profess") {
+		t.Error("detail render incomplete")
+	}
+}
+
+func TestRunMemPodComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunMemPodComparison(tinyExp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SingleRatio) != 2 || len(rep.MultiRatio) != 1 {
+		t.Fatalf("shape: %+v", rep)
+	}
+	for k, v := range rep.SingleRatio {
+		if v <= 0 {
+			t.Errorf("single %s = %v", k, v)
+		}
+	}
+	if rep.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunOracleDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 150_000
+	spec, err := SpecFor("lbm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOracle(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "oracle" {
+		t.Errorf("scheme = %s", res.Scheme)
+	}
+	if res.Counts.Swaps == 0 {
+		t.Error("oracle should have placed hot blocks")
+	}
+	// The oracle performs at most one swap per group.
+	static, err := RunSpecs([]ProgramSpec{spec}, SchemeStatic, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerCore[0].IPC <= static.PerCore[0].IPC {
+		t.Errorf("oracle IPC %v should beat static %v", res.PerCore[0].IPC, static.PerCore[0].IPC)
+	}
+}
+
+func TestExpOptionsDefaults(t *testing.T) {
+	var o ExpOptions
+	if o.scale() != PaperScale {
+		t.Error("default scale")
+	}
+	if len(o.programs()) != 9 {
+		t.Errorf("default programs = %d (libquantum excluded per Fig. 5)", len(o.programs()))
+	}
+	if len(o.workloads()) != 19 {
+		t.Errorf("default workloads = %d", len(o.workloads()))
+	}
+	if o.seeds() != 1 {
+		t.Error("default seeds")
+	}
+	if o.singleConfig().Cores != 1 || o.multiConfig().Cores != 4 {
+		t.Error("config shapes")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var sum [100]int
+	err := parallelFor(100, 8, func(i int) error {
+		sum[i] = i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sum {
+		if v != i {
+			t.Fatalf("index %d not executed", i)
+		}
+	}
+	// Errors propagate.
+	calls := 0
+	err = parallelFor(10, 1, func(i int) error {
+		calls++
+		if i == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Errorf("err = %v", err)
+	}
+	if calls > 4 {
+		t.Errorf("serial mode should stop early, ran %d", calls)
+	}
+	if parallelFor(0, 4, func(int) error { return errBoom }) != nil {
+		t.Error("zero jobs should be a no-op")
+	}
+}
+
+var errBoom = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,43 @@
+package profess
+
+import (
+	"math"
+	"testing"
+)
+
+// quickOpts are the fast settings used by the repo's own tests: enough
+// instructions for the policies' statistics to settle, small enough to run
+// in seconds.
+func quickOpts() ExpOptions {
+	return ExpOptions{Instructions: 600_000}
+}
+
+// TestSingleProgramShape verifies the central §5.1 claim at test scale:
+// MDM outperforms PoM on the single-core system in the geometric mean.
+func TestSingleProgramShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	rep, err := RunSinglePrograms([]Scheme{SchemePoM, SchemeMDM}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	ratios := rep.Ratios(SchemeMDM, SchemePoM, "ipc")
+	gm, n := 1.0, 0
+	for p, r := range ratios {
+		t.Logf("MDM/PoM IPC %-12s %.3f", p, r)
+		if r > 0 {
+			gm *= r
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no ratios measured")
+	}
+	gm = math.Pow(gm, 1/float64(n))
+	t.Logf("gmean MDM/PoM = %.3f", gm)
+	if gm < 1.0 {
+		t.Errorf("MDM should outperform PoM on average (paper: +14%%), got gmean %.3f", gm)
+	}
+}

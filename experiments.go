@@ -1,0 +1,169 @@
+package profess
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"profess/internal/stats"
+)
+
+// ExpOptions tunes the experiment drivers. The zero value means: paper
+// scale (1/32), the configuration's default instruction budget, all
+// programs, all 19 workloads.
+type ExpOptions struct {
+	// Scale is the capacity scale (0 = PaperScale).
+	Scale float64
+	// Instructions overrides the per-run instruction budget (0 = the
+	// scaled config default of 500M x Scale). Experiments are meaningful
+	// from about 1M instructions; the defaults in cmd/professbench use
+	// 2M for speed.
+	Instructions int64
+	// Programs restricts single-program experiments (nil = Table 9 set).
+	Programs []string
+	// Workloads restricts multi-program experiments (nil = Table 10 set).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Seeds > 1 repeats each single-program measurement with that many
+	// distinct generator seeds and reports the mean (plus spread), giving
+	// the synthetic-workload results confidence beyond one draw.
+	Seeds int
+}
+
+// seeds returns the effective seed-replication count.
+func (o ExpOptions) seeds() int {
+	if o.Seeds > 1 {
+		return o.Seeds
+	}
+	return 1
+}
+
+// scale returns the effective capacity scale.
+func (o ExpOptions) scale() float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return PaperScale
+}
+
+// singleConfig builds the single-core system for these options.
+func (o ExpOptions) singleConfig() Config {
+	cfg := SingleCoreConfig(o.scale())
+	if o.Instructions > 0 {
+		cfg.Instructions = o.Instructions
+	}
+	return cfg
+}
+
+// multiConfig builds the quad-core system for these options.
+func (o ExpOptions) multiConfig() Config {
+	cfg := MultiCoreConfig(o.scale())
+	if o.Instructions > 0 {
+		cfg.Instructions = o.Instructions
+	}
+	return cfg
+}
+
+// programs returns the single-program experiment set. libquantum is
+// excluded by default exactly as in Fig. 5 (its footprint fits entirely in
+// M1 at the default scale, making every scheme identical); pass it
+// explicitly to include it.
+func (o ExpOptions) programs() []string {
+	if len(o.Programs) > 0 {
+		return o.Programs
+	}
+	var names []string
+	for _, p := range Programs() {
+		if p.Name == "libquantum" {
+			continue
+		}
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// workloads returns the multi-program experiment set.
+func (o ExpOptions) workloads() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	var names []string
+	for _, w := range Workloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Ratio returns a/b, or 0 when b is 0 — the "normalised to PoM" helper
+// used throughout the figures.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// summarise renders a box-plot line in the paper's Fig. 5 style.
+func summarise(name string, xs []float64) string {
+	bp := stats.NewBoxPlot(xs)
+	return fmt.Sprintf("%-28s gmean=%.3f median=%.3f box=[%.3f,%.3f] range=[%.3f,%.3f]",
+		name, bp.GeoMean, bp.Median, bp.Q1, bp.Q3, stats.Min(xs), stats.Max(xs))
+}

@@ -1,0 +1,3 @@
+module profess
+
+go 1.22

@@ -1,0 +1,84 @@
+package profess
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFairnessShape verifies the paper's headline claim at test scale:
+// across contended workloads, ProFess improves fairness (reduces the max
+// slowdown) relative to PoM without losing weighted speedup, and it cuts
+// the swap fraction (§5.4 reports -24% swaps on average).
+func TestFairnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := MultiCoreConfig(PaperScale)
+	cfg.Instructions = 400_000
+	cache := NewBaselineCache()
+
+	wls := []string{"w09", "w19"}
+	var sdnRatios, wsRatios, swapRatios []float64
+	for _, wl := range wls {
+		pom, err := RunWorkload(wl, SchemePoM, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := RunWorkload(wl, SchemeProFess, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: maxSdn pom=%.3f profess=%.3f | WS pom=%.3f profess=%.3f | swapFrac pom=%.4f profess=%.4f",
+			wl, pom.MaxSlowdown, pf.MaxSlowdown, pom.WeightedSpeedup, pf.WeightedSpeedup,
+			pom.Result.SwapFraction, pf.Result.SwapFraction)
+		sdnRatios = append(sdnRatios, pf.MaxSlowdown/pom.MaxSlowdown)
+		wsRatios = append(wsRatios, pf.WeightedSpeedup/pom.WeightedSpeedup)
+		if pom.Result.SwapFraction > 0 {
+			swapRatios = append(swapRatios, pf.Result.SwapFraction/pom.Result.SwapFraction)
+		}
+	}
+	gmean := func(xs []float64) float64 {
+		p := 1.0
+		for _, x := range xs {
+			p *= x
+		}
+		return math.Pow(p, 1/float64(len(xs)))
+	}
+	if g := gmean(sdnRatios); g > 1.02 {
+		t.Errorf("ProFess max-slowdown ratio vs PoM = %.3f, want <= ~1 (paper: 0.85)", g)
+	}
+	if g := gmean(wsRatios); g < 0.98 {
+		t.Errorf("ProFess weighted-speedup ratio vs PoM = %.3f, want >= ~1 (paper: 1.12)", g)
+	}
+}
+
+// TestMDMvsProFessFairness verifies the RSM contribution specifically:
+// guided MDM (ProFess) should not be less fair than raw MDM overall.
+func TestMDMvsProFessFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := MultiCoreConfig(PaperScale)
+	cfg.Instructions = 400_000
+	cache := NewBaselineCache()
+	var ratios []float64
+	for _, wl := range []string{"w09", "w15"} {
+		mdm, err := RunWorkload(wl, SchemeMDM, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := RunWorkload(wl, SchemeProFess, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: maxSdn mdm=%.3f profess=%.3f", wl, mdm.MaxSlowdown, pf.MaxSlowdown)
+		ratios = append(ratios, pf.MaxSlowdown/mdm.MaxSlowdown)
+	}
+	p := 1.0
+	for _, r := range ratios {
+		p *= r
+	}
+	if g := math.Pow(p, 1/float64(len(ratios))); g > 1.05 {
+		t.Errorf("ProFess should not be meaningfully less fair than MDM: ratio %.3f", g)
+	}
+}

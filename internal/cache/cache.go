@@ -1,0 +1,153 @@
+// Package cache implements the set-associative, write-back, write-allocate
+// LRU cache used for the shared L3 in the simulated system (Table 8) and
+// reused by tests as a reference model for cache-like structures.
+package cache
+
+// Eviction describes a victim line pushed out by an allocation.
+type Eviction struct {
+	Addr  int64 // byte address of the first byte of the victim line
+	Dirty bool  // true if the victim must be written back
+}
+
+// Config sizes a cache. Sets*Ways*LineBytes is the capacity.
+type Config struct {
+	Sets      int
+	Ways      int
+	LineBytes int64
+}
+
+// ConfigForCapacity builds a Config with the given capacity, associativity
+// and 64-B lines, mirroring how the paper resizes caches by changing only
+// the number of sets (§4.1).
+func ConfigForCapacity(capacity int64, ways int) Config {
+	c := Config{Ways: ways, LineBytes: 64}
+	sets := capacity / (int64(ways) * c.LineBytes)
+	if sets < 1 {
+		sets = 1
+	}
+	c.Sets = int(sets)
+	return c
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	lru   int64 // larger = more recently used
+}
+
+// Cache is a single-level cache model. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock int64
+
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
+		panic("cache: invalid config")
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Capacity returns the cache capacity in bytes.
+func (c *Cache) Capacity() int64 {
+	return int64(c.cfg.Sets) * int64(c.cfg.Ways) * c.cfg.LineBytes
+}
+
+// index splits a byte address into (set, tag).
+func (c *Cache) index(addr int64) (int, int64) {
+	lineAddr := addr / c.cfg.LineBytes
+	return int(lineAddr % int64(c.cfg.Sets)), lineAddr / int64(c.cfg.Sets)
+}
+
+// Access looks up addr, allocating on miss. It returns whether the access
+// hit and, on miss, whether a dirty victim was evicted (ev.Addr is the
+// victim's address). Write hits and write allocations mark the line dirty.
+func (c *Cache) Access(addr int64, write bool) (hit bool, ev Eviction, evicted bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.clock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.Hits++
+			return true, Eviction{}, false
+		}
+	}
+	c.Misses++
+	// Choose victim: an invalid way if any, else the LRU way.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	v := ways[victim]
+	if v.valid {
+		evicted = true
+		ev = Eviction{Addr: c.lineAddrToByte(set, v.tag), Dirty: v.dirty}
+		if v.dirty {
+			c.Writebacks++
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false, ev, evicted
+}
+
+// Probe reports whether addr is resident without touching LRU state.
+func (c *Cache) Probe(addr int64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's line if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			d := ways[i].dirty
+			ways[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+func (c *Cache) lineAddrToByte(set int, tag int64) int64 {
+	return (tag*int64(c.cfg.Sets) + int64(set)) * c.cfg.LineBytes
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"profess/internal/hybrid"
+)
+
+// MDMConfig parameterises the Migration-Decision Mechanism.
+type MDMConfig struct {
+	NumPrograms int
+	// MinBenefit is the least predicted number of remaining accesses that
+	// justifies a promotion (§3.2.3); it equals PoM's K (§4.1: 8).
+	MinBenefit float64
+	// PhaseUpdates is the duration of each observation and estimation
+	// phase, in MDM counter updates per program (§4.1: 1K).
+	PhaseUpdates int64
+	// RecomputeEvery is the estimation-phase recomputation interval in
+	// updates per program (§4.1: 100).
+	RecomputeEvery int64
+	// WriteWeight counts each write as this many accesses (§4.1: 8).
+	WriteWeight int
+	// InitialExpCnt seeds exp_cnt before the first estimation phase
+	// completes. The paper does not specify a cold-start value; seeding
+	// optimistically (2 x MinBenefit) lets early promotions happen so the
+	// statistics machinery has behaviour to learn from.
+	InitialExpCnt float64
+}
+
+// DefaultMDMConfig returns the §4.1 configuration.
+func DefaultMDMConfig(n int) MDMConfig {
+	return MDMConfig{
+		NumPrograms:    n,
+		MinBenefit:     8,
+		PhaseUpdates:   1000,
+		RecomputeEvery: 100,
+		WriteWeight:    8,
+		InitialExpCnt:  16,
+	}
+}
+
+// mdmProgram holds one program's Table 6 counters and registered values.
+type mdmProgram struct {
+	// Table 6 counters, indexed by QAC values (q_E in 1..3, q_I in 0..3).
+	accumCnt [hybrid.NumQI]float64               // accumulated counts per q_E
+	numQSumI [hybrid.NumQI]float64               // transitions to q_E
+	numQ     [hybrid.NumQI][hybrid.NumQI]float64 // transitions q_I -> q_E
+	numQSumE [hybrid.NumQI]float64               // transitions from q_I
+
+	// Registered exp_cnt(q_I) values (eq. 5), updated during estimation
+	// phases and held between updates ("the values are registered").
+	expCnt [hybrid.NumQI]float64
+
+	updates   int64 // updates within the current phase
+	observing bool  // observation phase (no recomputation) vs estimation
+	// Recomputations counts exp_cnt refreshes, for tests/reporting.
+	Recomputations int64
+}
+
+// MDM is the probabilistic Migration-Decision Mechanism: it learns, per
+// program and per QAC value, the expected number of accesses a block will
+// receive during an STC residency (eq. 5-7 with Laplace smoothing) and
+// approves a swap only when the predicted remaining accesses of the M2
+// block exceed those of the M1 block by at least MinBenefit (§3.2.3).
+//
+// MDM implements hybrid.Policy, so it runs standalone exactly as in the
+// paper's §5.1-5.3 evaluations; ProFess wraps it with RSM guidance.
+type MDM struct {
+	hybrid.BasePolicy
+	cfg   MDMConfig
+	progs []mdmProgram
+
+	// Decision tallies for reporting.
+	Considered int64 // M2 accesses evaluated
+	Approved   int64 // swaps scheduled
+}
+
+// NewMDM builds the mechanism.
+func NewMDM(cfg MDMConfig) (*MDM, error) {
+	if cfg.NumPrograms <= 0 {
+		return nil, fmt.Errorf("core: MDM needs at least one program")
+	}
+	if cfg.PhaseUpdates <= 0 || cfg.RecomputeEvery <= 0 {
+		return nil, fmt.Errorf("core: MDM phase durations must be positive")
+	}
+	if cfg.WriteWeight <= 0 {
+		cfg.WriteWeight = 1
+	}
+	m := &MDM{cfg: cfg, progs: make([]mdmProgram, cfg.NumPrograms)}
+	for i := range m.progs {
+		p := &m.progs[i]
+		p.observing = true
+		for q := 0; q < hybrid.NumQI; q++ {
+			p.expCnt[q] = cfg.InitialExpCnt
+		}
+	}
+	return m, nil
+}
+
+// Name implements hybrid.Policy.
+func (m *MDM) Name() string { return "mdm" }
+
+// WriteWeight implements hybrid.Policy.
+func (m *MDM) WriteWeight() int { return m.cfg.WriteWeight }
+
+// MinBenefit returns the configured promotion threshold.
+func (m *MDM) MinBenefit() float64 { return m.cfg.MinBenefit }
+
+// OnSTCEvict implements hybrid.Policy: one Table 6 counter update for a
+// block whose ST entry left the STC with a non-zero access count.
+func (m *MDM) OnSTCEvict(core int, qI, qE uint8, count uint32) {
+	if core < 0 || core >= len(m.progs) || qE == 0 {
+		return
+	}
+	p := &m.progs[core]
+	p.accumCnt[qE] += float64(count)
+	p.numQSumI[qE]++
+	p.numQ[qI][qE]++
+	p.numQSumE[qI]++
+
+	p.updates++
+	if p.observing {
+		if p.updates >= m.cfg.PhaseUpdates {
+			// Observation done: enter the estimation phase.
+			p.observing = false
+			p.updates = 0
+			p.recompute()
+		}
+		return
+	}
+	if p.updates%m.cfg.RecomputeEvery == 0 {
+		p.recompute()
+	}
+	if p.updates >= m.cfg.PhaseUpdates {
+		// Estimation done: reset counters, enter observation (§3.2.2:
+		// counters are reset at the beginning of each observation phase).
+		*p = mdmProgram{observing: true, expCnt: p.expCnt, Recomputations: p.Recomputations}
+	}
+}
+
+// recompute refreshes the registered exp_cnt values per eq. 5-7.
+func (p *mdmProgram) recompute() {
+	p.Recomputations++
+	var avgCnt [hybrid.NumQI]float64
+	for qE := 1; qE <= hybrid.NumQE; qE++ {
+		if p.numQSumI[qE] > 0 {
+			avgCnt[qE] = p.accumCnt[qE] / p.numQSumI[qE] // eq. 6
+		}
+	}
+	for qI := 0; qI < hybrid.NumQI; qI++ {
+		var e float64
+		for qE := 1; qE <= hybrid.NumQE; qE++ {
+			// eq. 7 with Laplace smoothing: (n+1)/(N+num_qE).
+			pTrans := (p.numQ[qI][qE] + 1) / (p.numQSumE[qI] + float64(hybrid.NumQE))
+			e += avgCnt[qE] * pTrans // eq. 5
+		}
+		p.expCnt[qI] = e
+	}
+}
+
+// ExpCnt returns the registered expected access count for (program, q_I).
+func (m *MDM) ExpCnt(core int, qI uint8) float64 {
+	return m.progs[core].expCnt[qI]
+}
+
+// RemainingM2 evaluates eq. 8 for the accessed M2 block.
+func (m *MDM) RemainingM2(info hybrid.AccessInfo) float64 {
+	e := info.Entry
+	return m.ExpCnt(info.Core, e.QInsert[info.Slot]) - float64(e.Count(info.Slot))
+}
+
+// Decide runs the §3.2.3 migration decision for an access to an M2 block.
+// treatM1Vacant implements ProFess's Case 1 aggressive help: the M1
+// resident's remaining accesses are ignored, as if M1 were vacant.
+func (m *MDM) Decide(info hybrid.AccessInfo, ctl hybrid.PolicyContext, treatM1Vacant bool) bool {
+	remM2 := m.RemainingM2(info)
+	if remM2 < m.cfg.MinBenefit {
+		return false // no benefit to promote at all
+	}
+	if treatM1Vacant {
+		return true // condition (a): M1 considered vacant
+	}
+	e := info.Entry
+	m1Slot := ctl.M1Slot(info.Group)
+	cnt1 := e.Count(m1Slot)
+	if cnt1 == 0 {
+		// Condition (b): M1 occupied but not accessed while some other
+		// block of the group has been, hinting the M1 block is unlikely
+		// to be accessed soon. We read "some other block" as a block
+		// besides both the M1 resident and the candidate itself — i.e.
+		// the group shows activity while M1 stays idle — or repeated
+		// activity on the candidate beyond the current touch. The looser
+		// reading (candidate counts as evidence) fires on every first
+		// touch of a quiet group and over-promotes under STC thrash.
+		for s := 0; s < hybrid.MaxSlots; s++ {
+			if s != m1Slot && s != info.Slot && e.Count(s) > 0 {
+				return true
+			}
+		}
+		weight := uint32(1)
+		if info.Write {
+			weight = uint32(m.cfg.WriteWeight)
+		}
+		return e.Count(info.Slot) > weight // candidate was active before this touch
+	}
+	// Condition (c): predict the M1 resident's remaining accesses.
+	ownerM1 := ctl.Owner(info.Group, m1Slot)
+	if ownerM1 < 0 {
+		return true // unallocated M1 block cannot be worth protecting
+	}
+	remM1 := m.ExpCnt(ownerM1, e.QInsert[m1Slot]) - float64(cnt1)
+	if remM1 <= 0 {
+		return true // (c.i)
+	}
+	return remM2-remM1 >= m.cfg.MinBenefit // (c.ii)
+}
+
+// OnAccess implements hybrid.Policy: standalone MDM, no fairness guidance.
+func (m *MDM) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	if info.Loc == 0 {
+		return
+	}
+	m.Considered++
+	if m.Decide(info, ctl, false) && ctl.ScheduleSwap(info.Group, info.Slot) {
+		m.Approved++
+	}
+}
+
+var _ hybrid.Policy = (*MDM)(nil)

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"profess/internal/hybrid"
+)
+
+// mdmCtx is a scriptable PolicyContext for MDM decisions.
+type mdmCtx struct {
+	m1slot int
+	owners map[int]int // slot -> owner
+	swaps  int
+}
+
+func (c *mdmCtx) M1Slot(group int64) int { return c.m1slot }
+func (c *mdmCtx) Owner(group int64, slot int) int {
+	if o, ok := c.owners[slot]; ok {
+		return o
+	}
+	return 0
+}
+func (c *mdmCtx) ScheduleSwap(group int64, slot int) bool { c.swaps++; return true }
+func (c *mdmCtx) SwapLatency() int64                      { return 2548 }
+func (c *mdmCtx) ReadLatencyGap() int64                   { return 396 }
+
+func newTestMDM(t *testing.T, cfg MDMConfig) *MDM {
+	t.Helper()
+	m, err := NewMDM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMDMValidation(t *testing.T) {
+	if _, err := NewMDM(MDMConfig{NumPrograms: 0, PhaseUpdates: 1, RecomputeEvery: 1}); err == nil {
+		t.Error("zero programs should fail")
+	}
+	if _, err := NewMDM(MDMConfig{NumPrograms: 1, PhaseUpdates: 0, RecomputeEvery: 1}); err == nil {
+		t.Error("zero phase should fail")
+	}
+}
+
+func TestMDMExpectedCountHandComputed(t *testing.T) {
+	// Ten updates, all (q_I = 0 -> q_E = 1, count 4):
+	//   avg_cnt(1) = 40/10 = 4                                (eq. 6)
+	//   P(1|0) = (10+1)/(10+3) = 11/13; P(2|0) = P(3|0) = 1/13 (eq. 7)
+	//   exp_cnt(0) = 4 * 11/13 = 44/13                        (eq. 5)
+	cfg := DefaultMDMConfig(1)
+	cfg.PhaseUpdates = 10
+	m := newTestMDM(t, cfg)
+	for i := 0; i < 10; i++ {
+		m.OnSTCEvict(0, 0, 1, 4)
+	}
+	want := 44.0 / 13.0
+	if got := m.ExpCnt(0, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("exp_cnt(0) = %v, want %v", got, want)
+	}
+	// q_I values never observed keep the Laplace-uniform mix over the
+	// same avg counts: exp_cnt(2) = 4 * 1/3.
+	if got, want := m.ExpCnt(0, 2), 4.0/3.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("exp_cnt(2) = %v, want %v", got, want)
+	}
+}
+
+func TestMDMTransitionProbabilitiesSumToOne(t *testing.T) {
+	// Internal consistency of eq. 7: for any observation mix, the three
+	// smoothed probabilities out of a q_I sum to 1.
+	f := func(counts [3]uint8) bool {
+		var p mdmProgram
+		total := 0.0
+		for qE := 1; qE <= hybrid.NumQE; qE++ {
+			p.numQ[0][qE] = float64(counts[qE-1])
+			p.numQSumE[0] += float64(counts[qE-1])
+		}
+		for qE := 1; qE <= hybrid.NumQE; qE++ {
+			total += (p.numQ[0][qE] + 1) / (p.numQSumE[0] + float64(hybrid.NumQE))
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMDMPhaseMachinery(t *testing.T) {
+	cfg := DefaultMDMConfig(1)
+	cfg.PhaseUpdates = 5
+	cfg.RecomputeEvery = 2
+	m := newTestMDM(t, cfg)
+	p := &m.progs[0]
+	if !p.observing {
+		t.Fatal("must start observing")
+	}
+	for i := 0; i < 5; i++ {
+		m.OnSTCEvict(0, 1, 1, 3)
+	}
+	if p.observing {
+		t.Fatal("observation phase should have ended")
+	}
+	recomps := p.Recomputations
+	if recomps == 0 {
+		t.Fatal("phase transition must recompute")
+	}
+	// During estimation, recompute every 2 updates.
+	m.OnSTCEvict(0, 1, 1, 3)
+	m.OnSTCEvict(0, 1, 1, 3)
+	if p.Recomputations != recomps+1 {
+		t.Errorf("recomputations = %d, want %d", p.Recomputations, recomps+1)
+	}
+	// Finish estimation: counters reset, back to observing.
+	for i := 0; i < 3; i++ {
+		m.OnSTCEvict(0, 1, 1, 3)
+	}
+	p = &m.progs[0]
+	if !p.observing {
+		t.Error("should be observing again")
+	}
+	if p.numQSumE[1] != 0 {
+		t.Error("counters must reset at observation start")
+	}
+	if p.expCnt[1] == 0 {
+		t.Error("registered exp_cnt must survive the reset")
+	}
+}
+
+func TestMDMIgnoresInvalidUpdates(t *testing.T) {
+	m := newTestMDM(t, DefaultMDMConfig(1))
+	m.OnSTCEvict(0, 1, 0, 5)  // q_E = 0 invalid
+	m.OnSTCEvict(-1, 1, 1, 5) // core out of range
+	m.OnSTCEvict(7, 1, 1, 5)  // core out of range
+	if m.progs[0].updates != 0 {
+		t.Error("invalid updates must be ignored")
+	}
+}
+
+// decideEntry builds an STC entry with the given counters for slot 4 (the
+// accessed M2 block) and slot 0 (the M1 resident).
+func decideEntry(cnt2, cnt1 uint16, qI2, qI1 uint8) *hybrid.STCEntry {
+	e := &hybrid.STCEntry{}
+	e.Counters[4] = cnt2
+	e.Counters[0] = cnt1
+	e.QInsert[4] = qI2
+	e.QInsert[0] = qI1
+	return e
+}
+
+// fixedMDM returns an MDM whose exp_cnt is pinned at `exp` for every q_I
+// (via InitialExpCnt before any statistics arrive).
+func fixedMDM(t *testing.T, exp float64) *MDM {
+	t.Helper()
+	cfg := DefaultMDMConfig(2)
+	cfg.InitialExpCnt = exp
+	return newTestMDM(t, cfg)
+}
+
+func info(e *hybrid.STCEntry) hybrid.AccessInfo {
+	return hybrid.AccessInfo{Core: 0, Group: 7, Slot: 4, Loc: 4, Entry: e}
+}
+
+func TestDecideNoBenefit(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	// rem2 = 20 - 15 = 5 < min_benefit 8: refuse even with M1 idle.
+	if m.Decide(info(decideEntry(15, 0, 0, 0)), ctx, false) {
+		t.Error("should refuse: predicted remaining accesses below min_benefit")
+	}
+	// Case 1 help cannot override a lack of benefit either.
+	if m.Decide(info(decideEntry(15, 0, 0, 0)), ctx, true) {
+		t.Error("treatM1Vacant must still respect min_benefit")
+	}
+}
+
+func TestDecideVacantM1(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	// rem2 = 18 >= 8 and M1 treated vacant: swap.
+	if !m.Decide(info(decideEntry(2, 50, 0, 0)), ctx, true) {
+		t.Error("vacant-M1 decision should promote regardless of the M1 block")
+	}
+}
+
+func TestDecideIdleM1(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	// Condition (b): M1 counter zero, another block (the accessed one)
+	// active -> swap.
+	if !m.Decide(info(decideEntry(2, 0, 0, 0)), ctx, false) {
+		t.Error("idle M1 resident should be displaced")
+	}
+}
+
+func TestDecideCaseCi(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	// M1 resident consumed its prediction: rem1 = 20 - 25 <= 0 -> swap.
+	if !m.Decide(info(decideEntry(2, 25, 0, 0)), ctx, false) {
+		t.Error("exhausted M1 resident should be displaced (c.i)")
+	}
+}
+
+func TestDecideCaseCii(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	// rem2 = 18, rem1 = 20-12 = 8: difference 10 >= 8 -> swap.
+	if !m.Decide(info(decideEntry(2, 12, 0, 0)), ctx, false) {
+		t.Error("c.ii should promote when the difference clears min_benefit")
+	}
+	// rem1 = 20-6 = 14: difference 4 < 8 -> keep.
+	if m.Decide(info(decideEntry(2, 6, 0, 0)), ctx, false) {
+		t.Error("c.ii should refuse when the difference is below min_benefit")
+	}
+}
+
+func TestDecideUnownedM1(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: -1}}
+	// An unallocated M1 block is never worth protecting.
+	if !m.Decide(info(decideEntry(2, 3, 0, 0)), ctx, false) {
+		t.Error("unowned M1 resident should be displaced")
+	}
+}
+
+func TestMDMOnAccessSchedulesSwaps(t *testing.T) {
+	m := fixedMDM(t, 20)
+	ctx := &mdmCtx{owners: map[int]int{0: 1}}
+	m.OnAccess(info(decideEntry(2, 0, 0, 0)), ctx)
+	if ctx.swaps != 1 || m.Approved != 1 || m.Considered != 1 {
+		t.Errorf("swaps=%d approved=%d considered=%d", ctx.swaps, m.Approved, m.Considered)
+	}
+	// M1 accesses are not considered.
+	ai := info(decideEntry(2, 0, 0, 0))
+	ai.Loc = 0
+	m.OnAccess(ai, ctx)
+	if m.Considered != 1 {
+		t.Error("M1 access must not be considered for promotion")
+	}
+}
+
+func TestMDMWriteWeightConfig(t *testing.T) {
+	m := newTestMDM(t, DefaultMDMConfig(1))
+	if m.WriteWeight() != 8 {
+		t.Errorf("write weight = %d, want 8 (§4.1)", m.WriteWeight())
+	}
+	if m.MinBenefit() != 8 {
+		t.Errorf("min benefit = %v, want 8", m.MinBenefit())
+	}
+	if m.Name() != "mdm" {
+		t.Error("name")
+	}
+}
+
+func TestMDMLearnsFromStatistics(t *testing.T) {
+	// Blocks with q_I = 3 that historically see many more accesses should
+	// get a larger exp_cnt than q_I = 1 blocks that see few.
+	cfg := DefaultMDMConfig(1)
+	cfg.PhaseUpdates = 100
+	m := newTestMDM(t, cfg)
+	for i := 0; i < 50; i++ {
+		m.OnSTCEvict(0, 3, 3, 60) // hot stays hot
+		m.OnSTCEvict(0, 1, 1, 2)  // cold stays cold
+	}
+	if m.ExpCnt(0, 3) <= m.ExpCnt(0, 1) {
+		t.Errorf("exp_cnt(3)=%v should exceed exp_cnt(1)=%v",
+			m.ExpCnt(0, 3), m.ExpCnt(0, 1))
+	}
+}

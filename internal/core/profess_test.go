@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"profess/internal/hybrid"
+)
+
+func newTestProFess(t *testing.T) *ProFess {
+	t.Helper()
+	cfg := DefaultProFessConfig(2, 1)
+	cfg.MDM.InitialExpCnt = 20
+	p, err := NewProFess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// setSF pins a program's slowdown factors for classification tests.
+func setSF(p *ProFess, core int, sfA, sfB float64) {
+	p.rsm.progs[core].sfA = sfA
+	p.rsm.progs[core].sfB = sfB
+}
+
+func TestProFessValidation(t *testing.T) {
+	cfg := DefaultProFessConfig(1, 1)
+	cfg.Threshold = -1
+	if _, err := NewProFess(cfg); err == nil {
+		t.Error("negative threshold should fail")
+	}
+	cfg = DefaultProFessConfig(0, 1)
+	if _, err := NewProFess(cfg); err == nil {
+		t.Error("zero programs should fail")
+	}
+}
+
+func TestClassifyCase1Help(t *testing.T) {
+	p := newTestProFess(t)
+	// cM2 (program 1) suffers more on both factors.
+	setSF(p, 0, 1.0, 1.0)
+	setSF(p, 1, 1.2, 1.2)
+	if got := p.Classify(0, 1); got != DecisionHelp {
+		t.Errorf("Classify = %v, want help", got)
+	}
+}
+
+func TestClassifyCase2Protect(t *testing.T) {
+	p := newTestProFess(t)
+	// cM1 (program 0) suffers more on both factors.
+	setSF(p, 0, 1.5, 2.0)
+	setSF(p, 1, 1.0, 1.0)
+	if got := p.Classify(0, 1); got != DecisionProtect {
+		t.Errorf("Classify = %v, want protect", got)
+	}
+}
+
+func TestClassifyCase3MixedSignals(t *testing.T) {
+	p := newTestProFess(t)
+	// SF_A says cM2 suffers, SF_B says cM1 does, and the SF_A*SF_B
+	// product favours cM1: 1*2 = 2 > 1.2*1*1.0625 = 1.275 -> protect.
+	setSF(p, 0, 1.0, 2.0)
+	setSF(p, 1, 1.2, 1.0)
+	if got := p.Classify(0, 1); got != DecisionProtectCase3 {
+		t.Errorf("Classify = %v, want case-3 protect", got)
+	}
+}
+
+func TestClassifyCase3ProductFails(t *testing.T) {
+	p := newTestProFess(t)
+	// Mixed signals but the product favours cM2: fall through to MDM.
+	setSF(p, 0, 1.0, 1.1)
+	setSF(p, 1, 1.2, 1.0)
+	if got := p.Classify(0, 1); got != DecisionMDM {
+		t.Errorf("Classify = %v, want default MDM", got)
+	}
+}
+
+func TestClassifyTooSimilarIsDefault(t *testing.T) {
+	p := newTestProFess(t)
+	// Within the 1/32 threshold: no case fires (the §3.3 exclusion).
+	setSF(p, 0, 1.0, 1.0)
+	setSF(p, 1, 1.02, 1.02)
+	if got := p.Classify(0, 1); got != DecisionMDM {
+		t.Errorf("Classify = %v, want default for near-equal factors", got)
+	}
+}
+
+func TestClassifyThresholdBoundary(t *testing.T) {
+	p := newTestProFess(t)
+	// Just above the 3.125% threshold fires Case 1.
+	setSF(p, 0, 1.0, 1.0)
+	setSF(p, 1, 1.0322, 1.0322)
+	if got := p.Classify(0, 1); got != DecisionHelp {
+		t.Errorf("Classify = %v, want help just above threshold", got)
+	}
+	// Exactly at the threshold: strict inequality keeps the default.
+	setSF(p, 1, 1.03125, 1.03125)
+	if got := p.Classify(0, 1); got != DecisionMDM {
+		t.Errorf("Classify = %v, want default at exact threshold", got)
+	}
+}
+
+func TestClassifyAblations(t *testing.T) {
+	cfg := DefaultProFessConfig(2, 1)
+	cfg.DisableCase3 = true
+	p, err := NewProFess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setSF(p, 0, 1.0, 2.0)
+	setSF(p, 1, 1.2, 1.0)
+	if got := p.Classify(0, 1); got != DecisionMDM {
+		t.Errorf("Case 3 disabled: Classify = %v, want default", got)
+	}
+
+	cfg = DefaultProFessConfig(2, 1)
+	cfg.DisableSFB = true
+	p, err = NewProFess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With SF_B ablated, SF_A alone decides: help.
+	setSF(p, 0, 1.0, 99)
+	setSF(p, 1, 1.2, 0.1)
+	if got := p.Classify(0, 1); got != DecisionHelp {
+		t.Errorf("SF_B disabled: Classify = %v, want help on SF_A alone", got)
+	}
+}
+
+// pfCtx is a scriptable PolicyContext for the integration paths.
+type pfCtx struct {
+	m1slot  int
+	ownerM1 int
+	swaps   int
+}
+
+func (c *pfCtx) M1Slot(group int64) int { return c.m1slot }
+func (c *pfCtx) Owner(group int64, slot int) int {
+	if slot == c.m1slot {
+		return c.ownerM1
+	}
+	return 1 // M2 blocks in these tests belong to program 1... unused otherwise
+}
+func (c *pfCtx) ScheduleSwap(group int64, slot int) bool { c.swaps++; return true }
+func (c *pfCtx) SwapLatency() int64                      { return 2548 }
+func (c *pfCtx) ReadLatencyGap() int64                   { return 396 }
+
+func pfInfo(core int, cnt2, cnt1 uint16) hybrid.AccessInfo {
+	e := &hybrid.STCEntry{}
+	e.Counters[4] = cnt2
+	e.Counters[0] = cnt1
+	return hybrid.AccessInfo{Core: core, Group: 7, Slot: 4, Loc: 4, Entry: e}
+}
+
+func TestProFessCase1ForcesSwapDespiteHotM1(t *testing.T) {
+	p := newTestProFess(t)
+	setSF(p, 0, 1.0, 1.0) // cM1 = program 0
+	setSF(p, 1, 1.5, 1.5) // cM2 = program 1 suffers
+	ctx := &pfCtx{m1slot: 0, ownerM1: 0}
+	// The M1 resident is hot (rem1 = 20-12 = 8 > 0; diff 10-8 < 8 would
+	// normally refuse via c.ii... cnt2=2 -> rem2=18, diff = 10 >= 8 would
+	// actually promote; use cnt1=4 so diff = 2 < 8: plain MDM refuses).
+	plain := pfInfo(1, 2, 4)
+	if p.mdm.Decide(plain, ctx, false) {
+		t.Fatal("precondition: plain MDM should refuse this swap")
+	}
+	p.OnAccess(plain, ctx)
+	if ctx.swaps != 1 {
+		t.Errorf("Case 1 should force the swap (M1 considered vacant), swaps=%d", ctx.swaps)
+	}
+	if p.CaseCounts[DecisionHelp] != 1 {
+		t.Errorf("case counts = %v", p.CaseCounts)
+	}
+}
+
+func TestProFessCase2BlocksSwapDespiteBenefit(t *testing.T) {
+	p := newTestProFess(t)
+	setSF(p, 0, 1.5, 1.5) // cM1 suffers
+	setSF(p, 1, 1.0, 1.0)
+	ctx := &pfCtx{m1slot: 0, ownerM1: 0}
+	// Plain MDM would promote (idle M1 resident), but Case 2 protects it.
+	benefit := pfInfo(1, 2, 0)
+	if !p.mdm.Decide(benefit, ctx, false) {
+		t.Fatal("precondition: plain MDM should approve this swap")
+	}
+	p.OnAccess(benefit, ctx)
+	if ctx.swaps != 0 {
+		t.Error("Case 2 must protect the M1 block")
+	}
+	if p.CaseCounts[DecisionProtect] != 1 {
+		t.Errorf("case counts = %v", p.CaseCounts)
+	}
+}
+
+func TestProFessSameProgramUsesPlainMDM(t *testing.T) {
+	p := newTestProFess(t)
+	setSF(p, 0, 9.9, 9.9) // factors must not matter for same-program swaps
+	setSF(p, 1, 1.0, 1.0)
+	ctx := &pfCtx{m1slot: 0, ownerM1: 1}
+	p.OnAccess(pfInfo(1, 2, 0), ctx) // idle M1, same owner: MDM promotes
+	if ctx.swaps != 1 {
+		t.Error("same-program access should fall through to plain MDM")
+	}
+	if p.CaseCounts[DecisionHelp]+p.CaseCounts[DecisionProtect]+p.CaseCounts[DecisionProtectCase3] != 0 {
+		t.Error("no Table 7 case should be counted for same-program swaps")
+	}
+}
+
+func TestProFessM1AccessIgnored(t *testing.T) {
+	p := newTestProFess(t)
+	ctx := &pfCtx{}
+	ai := pfInfo(1, 2, 0)
+	ai.Loc = 0
+	p.OnAccess(ai, ctx)
+	if ctx.swaps != 0 {
+		t.Error("M1 accesses are never promotion candidates")
+	}
+}
+
+func TestProFessHooksForward(t *testing.T) {
+	p := newTestProFess(t)
+	// OnServed forwards to RSM.
+	for i := 0; i < int(p.cfg.RSM.SamplingRequests); i++ {
+		p.OnServed(0, 5, false, true)
+	}
+	if p.RSM().Periods[0] != 1 {
+		t.Error("OnServed did not reach the RSM")
+	}
+	// OnSTCEvict forwards to MDM.
+	p.OnSTCEvict(0, 1, 1, 3)
+	if p.MDM().progs[0].updates != 1 {
+		t.Error("OnSTCEvict did not reach the MDM")
+	}
+	// OnSwapDone forwards to RSM (shared-region swap).
+	p.OnSwapDone(5, false, 0, 1)
+	if p.RSM().progs[0].cur.swapTotal != 1 {
+		t.Error("OnSwapDone did not reach the RSM")
+	}
+	if p.Name() != "profess" || p.WriteWeight() != 8 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for _, d := range []Decision{DecisionMDM, DecisionHelp, DecisionProtect, DecisionProtectCase3} {
+		if d.String() == "" {
+			t.Errorf("empty string for %d", d)
+		}
+	}
+}

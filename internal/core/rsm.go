@@ -1,0 +1,213 @@
+// Package core implements the ProFess framework — the paper's primary
+// contribution: the Relative-Slowdown Monitor (RSM, §3.1), the
+// probabilistic Migration-Decision Mechanism (MDM, §3.2), and their
+// integration (§3.3, Table 7). MDM is also usable as a standalone policy,
+// matching the paper's MDM-only evaluations (§5.1-5.3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"profess/internal/stats"
+)
+
+// RSMConfig parameterises the Relative-Slowdown Monitor.
+type RSMConfig struct {
+	NumPrograms int
+	// SamplingRequests is M_samp: the sampling-period duration in served
+	// requests per program (§4.1: 128K at full scale; scaled runs shrink
+	// it with the rest of the system).
+	SamplingRequests int64
+	// Alpha is the exponential-smoothing parameter (§3.1.3: 0.125).
+	Alpha float64
+	// Probe enables the Table 4 instrumentation (per-region request
+	// spread and raw/averaged SF_A series).
+	Probe bool
+	// Regions is required when Probe is set.
+	Regions int
+}
+
+// DefaultRSMConfig returns the §4.1 configuration for n programs, with
+// M_samp scaled by the given capacity scale.
+func DefaultRSMConfig(n int, scale float64) RSMConfig {
+	m := int64(128_000 * scale)
+	if m < 1024 {
+		m = 1024
+	}
+	return RSMConfig{NumPrograms: n, SamplingRequests: m, Alpha: 0.125}
+}
+
+// rsmCounters is one program's Table 3 counter set.
+type rsmCounters struct {
+	reqM1P    int64 // requests served from M1 of the private region
+	reqTotalP int64 // requests served from M1+M2 of the private region
+	reqM1S    int64 // requests served from M1 of the shared regions
+	reqTotalS int64 // requests served from M1+M2 of the shared regions
+	swapSelf  int64 // swaps where both blocks belong to the program
+	swapTotal int64 // swaps where at least one block belongs to it
+}
+
+// rsmProgram is the per-program monitor state.
+type rsmProgram struct {
+	cur rsmCounters
+	// Smoothed Table 3 counters (§3.1.3: each counter is incremented by
+	// one before being added to its average, avoiding zeros).
+	avg [6]stats.Smoother
+	sfA float64
+	sfB float64
+
+	// Probe series (Table 4).
+	regionCounts []int64
+	sigmaReqPct  []float64
+	rawSFA       []float64
+	avgSFA       []float64
+}
+
+// RSM is the Relative-Slowdown Monitor: per-program counter sets updated
+// on every served request and swap, recomputed into the slowdown factors
+// SF_A (eq. 2) and SF_B (eq. 3) at the end of every sampling period.
+type RSM struct {
+	cfg   RSMConfig
+	progs []rsmProgram
+	// Periods counts completed sampling periods per program.
+	Periods []int64
+}
+
+// NewRSM builds the monitor.
+func NewRSM(cfg RSMConfig) (*RSM, error) {
+	if cfg.NumPrograms <= 0 {
+		return nil, fmt.Errorf("core: RSM needs at least one program")
+	}
+	if cfg.SamplingRequests <= 0 {
+		return nil, fmt.Errorf("core: RSM sampling period must be positive")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("core: RSM alpha %v out of (0,1]", cfg.Alpha)
+	}
+	if cfg.Probe && cfg.Regions <= 0 {
+		return nil, fmt.Errorf("core: RSM probe requires Regions")
+	}
+	r := &RSM{cfg: cfg, progs: make([]rsmProgram, cfg.NumPrograms), Periods: make([]int64, cfg.NumPrograms)}
+	for i := range r.progs {
+		p := &r.progs[i]
+		p.sfA, p.sfB = 1, 1
+		for j := range p.avg {
+			p.avg[j].Alpha = cfg.Alpha
+		}
+		if cfg.Probe {
+			p.regionCounts = make([]int64, cfg.Regions)
+		}
+	}
+	return r, nil
+}
+
+// OnServed records one served request for the program: region attribution
+// (private vs shared) and which partition served it.
+func (r *RSM) OnServed(core, region int, private, fromM1 bool) {
+	p := &r.progs[core]
+	if private {
+		p.cur.reqTotalP++
+		if fromM1 {
+			p.cur.reqM1P++
+		}
+	} else {
+		p.cur.reqTotalS++
+		if fromM1 {
+			p.cur.reqM1S++
+		}
+	}
+	if p.regionCounts != nil {
+		p.regionCounts[region]++
+	}
+	if p.cur.reqTotalP+p.cur.reqTotalS >= r.cfg.SamplingRequests {
+		r.endPeriod(core)
+	}
+}
+
+// OnSwapDone records a completed swap for RSM accounting. Swaps inside
+// private regions are not counted (§3.1.2: in the private region all
+// blocks belong to the same program, so that fraction is 1 by definition).
+func (r *RSM) OnSwapDone(private bool, ownerM1, ownerM2 int) {
+	if private {
+		return
+	}
+	count := func(c int) {
+		if c >= 0 && c < len(r.progs) {
+			r.progs[c].cur.swapTotal++
+			if ownerM1 == ownerM2 {
+				r.progs[c].cur.swapSelf++
+			}
+		}
+	}
+	count(ownerM2)
+	if ownerM1 != ownerM2 {
+		count(ownerM1)
+	}
+}
+
+// endPeriod recomputes SF_A and SF_B from the smoothed counters and resets
+// the period counters (§3.1.3).
+func (r *RSM) endPeriod(core int) {
+	p := &r.progs[core]
+	c := p.cur
+
+	if p.regionCounts != nil {
+		vals := make([]float64, len(p.regionCounts))
+		for i, v := range p.regionCounts {
+			vals[i] = float64(v)
+			p.regionCounts[i] = 0
+		}
+		if m := stats.Mean(vals); m > 0 {
+			p.sigmaReqPct = append(p.sigmaReqPct, stats.StdDev(vals)/m*100)
+		}
+		p.rawSFA = append(p.rawSFA, sfA(
+			float64(c.reqM1P), float64(c.reqTotalP),
+			float64(c.reqM1S), float64(c.reqTotalS)))
+	}
+
+	// Smooth the six counters, each incremented by one to avoid zeros.
+	sm := func(i int, v int64) float64 { return p.avg[i].Add(float64(v) + 1) }
+	m1P := sm(0, c.reqM1P)
+	totP := sm(1, c.reqTotalP)
+	m1S := sm(2, c.reqM1S)
+	totS := sm(3, c.reqTotalS)
+	self := sm(4, c.swapSelf)
+	total := sm(5, c.swapTotal)
+
+	p.sfA = sfA(m1P, totP, m1S, totS)
+	p.sfB = total / self
+	if p.regionCounts != nil {
+		p.avgSFA = append(p.avgSFA, p.sfA)
+	}
+
+	p.cur = rsmCounters{}
+	r.Periods[core]++
+}
+
+// sfA evaluates eq. 2 defensively: an undefined ratio degrades to 1
+// ("no observed competition") rather than to an extreme value.
+func sfA(m1P, totP, m1S, totS float64) float64 {
+	if totP <= 0 || totS <= 0 || m1S <= 0 {
+		return 1
+	}
+	v := (m1P / totP) / (m1S / totS)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// SFA returns program core's current slowdown factor SF_A (eq. 2).
+func (r *RSM) SFA(core int) float64 { return r.progs[core].sfA }
+
+// SFB returns program core's current slowdown factor SF_B (eq. 3).
+func (r *RSM) SFB(core int) float64 { return r.progs[core].sfB }
+
+// ProbeSeries returns the Table 4 instrumentation for a program: the
+// per-period region-spread percentages and the raw and averaged SF_A
+// series. It returns nils unless the RSM was built with Probe.
+func (r *RSM) ProbeSeries(core int) (sigmaReqPct, rawSFA, avgSFA []float64) {
+	p := &r.progs[core]
+	return p.sigmaReqPct, p.rawSFA, p.avgSFA
+}

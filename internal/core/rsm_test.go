@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestRSM(t *testing.T, n int, msamp int64) *RSM {
+	t.Helper()
+	r, err := NewRSM(RSMConfig{NumPrograms: n, SamplingRequests: msamp, Alpha: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRSMValidation(t *testing.T) {
+	if _, err := NewRSM(RSMConfig{NumPrograms: 0, SamplingRequests: 10, Alpha: 0.125}); err == nil {
+		t.Error("zero programs should fail")
+	}
+	if _, err := NewRSM(RSMConfig{NumPrograms: 1, SamplingRequests: 0, Alpha: 0.125}); err == nil {
+		t.Error("zero sampling period should fail")
+	}
+	if _, err := NewRSM(RSMConfig{NumPrograms: 1, SamplingRequests: 10, Alpha: 0}); err == nil {
+		t.Error("zero alpha should fail")
+	}
+	if _, err := NewRSM(RSMConfig{NumPrograms: 1, SamplingRequests: 10, Alpha: 0.125, Probe: true}); err == nil {
+		t.Error("probe without regions should fail")
+	}
+}
+
+func TestRSMDefaultsToOne(t *testing.T) {
+	r := newTestRSM(t, 2, 1000)
+	if r.SFA(0) != 1 || r.SFB(1) != 1 {
+		t.Error("slowdown factors should default to 1")
+	}
+}
+
+func TestSFAHandComputed(t *testing.T) {
+	// Eq. 2 on the first completed period, with the +1 anti-zero bias:
+	// private 80/100 from M1, shared 120/300 from M1.
+	r := newTestRSM(t, 1, 400)
+	for i := 0; i < 100; i++ {
+		r.OnServed(0, 0, true, i < 80)
+	}
+	for i := 0; i < 300; i++ {
+		r.OnServed(0, 5, false, i < 120)
+	}
+	if r.Periods[0] != 1 {
+		t.Fatalf("periods = %d, want 1", r.Periods[0])
+	}
+	want := (81.0 / 101.0) / (121.0 / 301.0)
+	if got := r.SFA(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SF_A = %v, want %v", got, want)
+	}
+}
+
+func TestSFBHandComputed(t *testing.T) {
+	// Eq. 3: 4 self swaps of 9 total -> smoothed (4+1)/(9+1) -> SF_B = 2.
+	r := newTestRSM(t, 2, 100)
+	for i := 0; i < 9; i++ {
+		if i < 4 {
+			r.OnSwapDone(false, 0, 0) // both blocks belong to program 0
+		} else {
+			r.OnSwapDone(false, 1, 0) // cross-program swap
+		}
+	}
+	for i := 0; i < 100; i++ {
+		r.OnServed(0, 5, false, true)
+	}
+	if got, want := r.SFB(0), 10.0/5.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SF_B = %v, want %v", got, want)
+	}
+}
+
+func TestRSMPrivateSwapsNotCounted(t *testing.T) {
+	r := newTestRSM(t, 1, 10)
+	r.OnSwapDone(true, 0, 0) // private-region swap: ignored
+	for i := 0; i < 10; i++ {
+		r.OnServed(0, 3, false, true)
+	}
+	// Both swap counters were zero; with the +1 bias SF_B = 1.
+	if got := r.SFB(0); got != 1 {
+		t.Errorf("SF_B = %v, want 1 (private swaps ignored)", got)
+	}
+}
+
+func TestRSMSwapAttribution(t *testing.T) {
+	r := newTestRSM(t, 2, 50)
+	// Cross swap: both programs count it in swapTotal, neither in self.
+	r.OnSwapDone(false, 0, 1)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 50; i++ {
+			r.OnServed(c, 5, false, true)
+		}
+	}
+	// Program 0: self 0 -> (0+1)=1; total 1 -> (1+1)=2; SF_B = 2.
+	if got := r.SFB(0); math.Abs(got-2) > 1e-9 {
+		t.Errorf("SF_B(0) = %v, want 2", got)
+	}
+	if got := r.SFB(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("SF_B(1) = %v, want 2", got)
+	}
+}
+
+func TestRSMUncontendedSFAIsOne(t *testing.T) {
+	// A program alone with the same M1-hit ratio everywhere: SF_A ~ 1.
+	// The M1-hit pattern (every 3rd) is chosen coprime to the
+	// private-region pattern (every 8th) so the ratios match.
+	r := newTestRSM(t, 1, 1000)
+	for p := 0; p < 20; p++ {
+		for i := 0; i < 1000; i++ {
+			r.OnServed(0, i%128, i%8 == 0, i%3 == 0)
+		}
+	}
+	if got := r.SFA(0); math.Abs(got-1) > 0.1 {
+		t.Errorf("uncontended SF_A = %v, want ~1", got)
+	}
+}
+
+func TestRSMSmoothingDampsChange(t *testing.T) {
+	r := newTestRSM(t, 1, 100)
+	// First period: balanced -> SF_A ~ 1.
+	for i := 0; i < 50; i++ {
+		r.OnServed(0, 0, true, i%2 == 0)
+	}
+	for i := 0; i < 50; i++ {
+		r.OnServed(0, 5, false, i%2 == 0)
+	}
+	first := r.SFA(0)
+	// Second period: shared starved of M1 (raw SF_A would jump).
+	for i := 0; i < 50; i++ {
+		r.OnServed(0, 0, true, true)
+	}
+	for i := 0; i < 50; i++ {
+		r.OnServed(0, 5, false, false)
+	}
+	second := r.SFA(0)
+	if second <= first {
+		t.Errorf("SF_A should rise under shared-region starvation: %v -> %v", first, second)
+	}
+	// With alpha = 0.125 the jump is damped well below the raw value
+	// ((51/101)/(1/51) ~ 25x).
+	if second > first*5 {
+		t.Errorf("smoothing too weak: %v -> %v", first, second)
+	}
+}
+
+func TestRSMDegenerateRatioFallsBackToOne(t *testing.T) {
+	r := newTestRSM(t, 1, 10)
+	// All requests private: shared counters zero -> SF_A must fall back 1.
+	for i := 0; i < 10; i++ {
+		r.OnServed(0, 0, true, true)
+	}
+	if got := r.SFA(0); got != 1 {
+		t.Errorf("degenerate SF_A = %v, want 1", got)
+	}
+}
+
+func TestRSMProbeSeries(t *testing.T) {
+	r, err := NewRSM(RSMConfig{NumPrograms: 1, SamplingRequests: 96, Alpha: 0.125, Probe: true, Regions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		for i := 0; i < 96; i++ {
+			r.OnServed(0, i%8, i%8 == 0, i%2 == 0)
+		}
+	}
+	sig, raw, avg := r.ProbeSeries(0)
+	if len(sig) != 3 || len(raw) != 3 || len(avg) != 3 {
+		t.Errorf("probe lengths = %d/%d/%d, want 3 each", len(sig), len(raw), len(avg))
+	}
+	// Perfectly uniform regions: sigma ~ 0.
+	if sig[0] > 1e-9 {
+		t.Errorf("uniform traffic should have ~0 region spread, got %v", sig[0])
+	}
+}

@@ -1,0 +1,226 @@
+// Package cpu models the processor cores that drive the memory system.
+//
+// The paper uses a Pin-based cycle-accurate x86 simulator (width 4,
+// ROB 256). For a memory-system study, what the core model must get right
+// is the rate and overlap of memory requests: independent misses overlap
+// up to the reorder window's capacity, dependent (pointer-chasing) misses
+// serialise, and compute instructions advance at the core width. This
+// package implements exactly that: an MLP-limited, dependence-aware core
+// that replays a synthetic reference stream and accounts instructions and
+// cycles.
+package cpu
+
+import (
+	"fmt"
+
+	"profess/internal/event"
+	"profess/internal/trace"
+)
+
+// Memory is the interface to the memory hierarchy below the core (the
+// shared L3 in this simulator). Access must eventually invoke onDone.
+type Memory interface {
+	Access(core int, addr int64, write bool, onDone func(now int64))
+}
+
+// Config sizes a core (Table 8: width 4, ROB 256).
+type Config struct {
+	Width int
+	ROB   int
+	// MaxOutstanding caps concurrent memory references (MSHR-like). When
+	// zero it is derived from ROB and the program's reference density.
+	MaxOutstanding int
+}
+
+// DefaultConfig returns the Table 8 core.
+func DefaultConfig() Config { return Config{Width: 4, ROB: 256} }
+
+// Core replays one program's reference stream against the memory system.
+// It restarts its generator when the instruction budget is reached (the
+// Table 10 methodology repeats programs that complete faster than the
+// slowest one), recording the first completion separately.
+type Core struct {
+	id    int
+	cfg   Config
+	gen   trace.Source
+	vmap  []int64 // virtual page -> physical page
+	pgBy  int64   // page bytes
+	memhw Memory
+	sched event.Scheduler
+
+	budget int64 // instructions per program run
+
+	// progress
+	frontier    int64 // frontend virtual time
+	instrAcc    int64 // sub-width instruction residue
+	instr       int64 // total instructions executed (across repeats)
+	runInstr    int64 // instructions executed within the current run
+	outstanding int
+	maxOut      int
+
+	issuedSeq      int64
+	lastIssuedDone bool
+	waitDep        bool
+	waitWindow     bool
+
+	pending        *trace.Ref
+	stopped        bool
+	firstDone      bool
+	FirstRunCycles int64 // cycle the first run completed (0 until then)
+	Repeats        int64 // completed runs
+
+	onFirstDone func(now int64)
+}
+
+// New builds a core. vmap maps the program's virtual pages to original
+// physical pages (from the hybrid allocator); pageBytes is the OS page
+// size; budget is the per-run instruction count.
+func New(id int, cfg Config, gen trace.Source, vmap []int64, pageBytes int64, budget int64, memhw Memory, sched event.Scheduler) (*Core, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 4
+	}
+	if cfg.ROB <= 0 {
+		cfg.ROB = 256
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("cpu: instruction budget must be positive")
+	}
+	need := gen.Footprint() / pageBytes
+	if int64(len(vmap)) < need {
+		return nil, fmt.Errorf("cpu: vmap covers %d pages, footprint needs %d", len(vmap), need)
+	}
+	c := &Core{
+		id: id, cfg: cfg, gen: gen, vmap: vmap, pgBy: pageBytes,
+		memhw: memhw, sched: sched, budget: budget,
+		lastIssuedDone: true,
+	}
+	c.maxOut = cfg.MaxOutstanding
+	if c.maxOut <= 0 {
+		// The ROB holds cfg.ROB instructions; with GapMean instructions
+		// between references it covers about ROB/Gap concurrent misses.
+		g := int(gen.Params().GapMean)
+		if g < 1 {
+			g = 1
+		}
+		c.maxOut = cfg.ROB / g
+		if c.maxOut < 1 {
+			c.maxOut = 1
+		}
+		if c.maxOut > 16 {
+			c.maxOut = 16
+		}
+	}
+	return c, nil
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// MaxOutstanding returns the derived MLP limit (for tests).
+func (c *Core) MaxOutstanding() int { return c.maxOut }
+
+// Instructions returns total instructions executed across all repeats.
+func (c *Core) Instructions() int64 { return c.instr }
+
+// Start begins execution; onFirstDone fires when the first run's
+// instruction budget is reached.
+func (c *Core) Start(onFirstDone func(now int64)) {
+	c.onFirstDone = onFirstDone
+	c.sched.At(c.sched.Now(), func(now int64) { c.step(now) })
+}
+
+// Stop freezes the core: no further references are issued.
+func (c *Core) Stop() { c.stopped = true }
+
+// Stopped reports whether the core has been stopped.
+func (c *Core) Stopped() bool { return c.stopped }
+
+// translate maps a virtual address to its original physical address.
+func (c *Core) translate(vaddr int64) int64 {
+	vp := vaddr / c.pgBy
+	return c.vmap[vp]*c.pgBy + vaddr%c.pgBy
+}
+
+// step issues references until blocked on time, dependence or the window.
+func (c *Core) step(now int64) {
+	for !c.stopped {
+		if c.pending == nil {
+			if c.runInstr >= c.budget {
+				c.completeRun(now)
+				if c.stopped {
+					return
+				}
+			}
+			ref := c.gen.Next()
+			c.pending = &ref
+			// Advance the frontend by the compute gap at core width.
+			c.instrAcc += int64(ref.Gap)
+			c.frontier += c.instrAcc / int64(c.cfg.Width)
+			c.instrAcc %= int64(c.cfg.Width)
+			if c.frontier < now {
+				c.frontier = now
+			}
+		}
+		ref := c.pending
+		if now < c.frontier {
+			at := c.frontier
+			c.sched.At(at, func(t int64) { c.step(t) })
+			return
+		}
+		if ref.Dep && !c.lastIssuedDone {
+			c.waitDep = true
+			return // resumed by the previous reference's completion
+		}
+		if c.outstanding >= c.maxOut {
+			c.waitWindow = true
+			return // resumed by any completion
+		}
+		c.issue(now, ref)
+	}
+}
+
+// issue submits the pending reference to memory.
+func (c *Core) issue(now int64, ref *trace.Ref) {
+	c.pending = nil
+	c.instr += int64(ref.Gap) + 1 // the gap plus the memory instruction
+	c.runInstr += int64(ref.Gap) + 1
+	c.outstanding++
+	c.issuedSeq++
+	seq := c.issuedSeq
+	c.lastIssuedDone = false
+	addr := c.translate(ref.VAddr)
+	c.memhw.Access(c.id, addr, ref.Write, func(done int64) {
+		c.outstanding--
+		if seq == c.issuedSeq {
+			c.lastIssuedDone = true
+		}
+		if c.stopped {
+			return
+		}
+		if c.waitDep && c.lastIssuedDone {
+			c.waitDep = false
+			c.step(done)
+			return
+		}
+		if c.waitWindow {
+			c.waitWindow = false
+			c.step(done)
+		}
+	})
+}
+
+// completeRun handles reaching the instruction budget: record the first
+// completion and restart the generator to keep the memory pressure up
+// until the workload's slowest program completes.
+func (c *Core) completeRun(now int64) {
+	c.Repeats++
+	c.runInstr = 0
+	c.gen.Reset()
+	if !c.firstDone {
+		c.firstDone = true
+		c.FirstRunCycles = now
+		if c.onFirstDone != nil {
+			c.onFirstDone(now)
+		}
+	}
+}

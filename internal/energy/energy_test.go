@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"profess/internal/mem"
+)
+
+func TestDefaultModelShape(t *testing.T) {
+	m := Default()
+	if m.WriteNJ[mem.M2] <= m.ReadNJ[mem.M2] {
+		t.Error("NVM writes must cost more than reads (asymmetry)")
+	}
+	if m.BackgroundW[mem.M2] >= m.BackgroundW[mem.M1] {
+		t.Error("NVM standby power should undercut DRAM (no refresh)")
+	}
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	m := Model{}
+	m.ReadNJ[mem.M1] = 2
+	m.WriteNJ[mem.M2] = 10
+	m.ActivateNJ[mem.M1] = 1
+	m.BackgroundW[mem.M1] = 0.5
+	m.BackgroundW[mem.M2] = 0.5
+
+	var c mem.EventCounts
+	c.Reads[mem.M1] = 100     // 200 nJ
+	c.Writes[mem.M2] = 10     // 100 nJ
+	c.Activates[mem.M1] = 50  // 50 nJ
+	c.SwapReads[mem.M1] = 100 // 200 nJ
+	c.SwapWrites[mem.M2] = 10 // 100 nJ
+
+	cycles := int64(3.2e9) // exactly one second at 3.2 GHz
+	rep := m.Evaluate(c, cycles, 1)
+	if math.Abs(rep.Seconds-1) > 1e-9 {
+		t.Errorf("seconds = %v", rep.Seconds)
+	}
+	if want := 650e-9; math.Abs(rep.DynamicJ-want) > 1e-15 {
+		t.Errorf("dynamic = %v J, want %v", rep.DynamicJ, want)
+	}
+	if math.Abs(rep.BackgroundJ-1.0) > 1e-9 {
+		t.Errorf("background = %v J, want 1", rep.BackgroundJ)
+	}
+	if rep.Requests != 110 {
+		t.Errorf("requests = %d", rep.Requests)
+	}
+	// Efficiency = requests / total joules.
+	if want := 110 / rep.TotalJ(); math.Abs(rep.Efficiency()-want) > 1e-6 {
+		t.Errorf("efficiency = %v, want %v", rep.Efficiency(), want)
+	}
+	if rep.Watts() <= 1 {
+		t.Errorf("watts = %v, want > background 1 W", rep.Watts())
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	var r Report
+	if r.Watts() != 0 || r.Efficiency() != 0 {
+		t.Error("zero report should yield zeros")
+	}
+}
+
+func TestMoreTrafficMoreEnergy(t *testing.T) {
+	m := Default()
+	var a, b mem.EventCounts
+	a.Reads[mem.M1] = 1000
+	b.Reads[mem.M1] = 1000
+	b.Swaps = 100
+	b.SwapReads[mem.M1] = 3200
+	b.SwapReads[mem.M2] = 3200
+	b.SwapWrites[mem.M1] = 3200
+	b.SwapWrites[mem.M2] = 3200
+	ra := m.Evaluate(a, 1e9, 2)
+	rb := m.Evaluate(b, 1e9, 2)
+	if rb.TotalJ() <= ra.TotalJ() {
+		t.Error("swap traffic must increase energy")
+	}
+	if rb.Efficiency() >= ra.Efficiency() {
+		t.Error("swap traffic must reduce requests/s/W at equal demand")
+	}
+}

@@ -1,0 +1,103 @@
+// Package event implements the discrete-event engine at the heart of the
+// simulator: a monotonic clock plus a binary-heap calendar of callbacks.
+// Components (cores, memory channels, the migration machinery) schedule
+// future work with At and the driver pumps events with Step/RunUntil.
+package event
+
+import "container/heap"
+
+// Queue is a discrete-event calendar. The zero value is ready to use.
+type Queue struct {
+	now   int64
+	items eventHeap
+	seq   int64
+}
+
+type item struct {
+	at  int64
+	seq int64 // insertion order breaks ties for determinism
+	fn  func(now int64)
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Now returns the current simulation time in cycles.
+func (q *Queue) Now() int64 { return q.now }
+
+// At schedules fn to run at cycle t. Scheduling in the past (t < Now) runs
+// the callback at the current time instead, preserving monotonicity.
+func (q *Queue) At(t int64, fn func(now int64)) {
+	if t < q.now {
+		t = q.now
+	}
+	q.seq++
+	heap.Push(&q.items, item{at: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn delay cycles from now.
+func (q *Queue) After(delay int64, fn func(now int64)) {
+	q.At(q.now+delay, fn)
+}
+
+// Empty reports whether no events are pending.
+func (q *Queue) Empty() bool { return len(q.items) == 0 }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Step pops and runs the earliest event, advancing the clock. It reports
+// false when the calendar is empty.
+func (q *Queue) Step() bool {
+	if len(q.items) == 0 {
+		return false
+	}
+	it := heap.Pop(&q.items).(item)
+	q.now = it.at
+	it.fn(q.now)
+	return true
+}
+
+// RunUntil pumps events until the calendar empties or the given predicate
+// returns true (checked after every event). It returns the final time.
+func (q *Queue) RunUntil(stop func() bool) int64 {
+	for !stop() {
+		if !q.Step() {
+			break
+		}
+	}
+	return q.now
+}
+
+// Drain pumps all remaining events.
+func (q *Queue) Drain() int64 {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// Scheduler is the interface components use to talk to the calendar; both
+// *Queue and test fakes satisfy it.
+type Scheduler interface {
+	Now() int64
+	At(t int64, fn func(now int64))
+	After(delay int64, fn func(now int64))
+}
+
+var _ Scheduler = (*Queue)(nil)

@@ -1,0 +1,393 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"profess/internal/event"
+	"profess/internal/mem"
+	"profess/internal/stats"
+)
+
+// CoreStats aggregates per-program controller-level statistics.
+type CoreStats struct {
+	Served    int64 // demand accesses served
+	ServedM1  int64 // demand accesses served from M1
+	Reads     int64
+	Writes    int64
+	ReadLat   int64 // sum of read latencies (submit -> data)
+	ReadCount int64
+	STCHits   int64
+	STCMisses int64
+	Swaps     int64 // swaps triggered by this program's accesses
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s CoreStats) AvgReadLatency() float64 {
+	if s.ReadCount == 0 {
+		return 0
+	}
+	return float64(s.ReadLat) / float64(s.ReadCount)
+}
+
+// M1Fraction returns the fraction of demand accesses served from M1.
+func (s CoreStats) M1Fraction() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.ServedM1) / float64(s.Served)
+}
+
+// STCHitRate returns the program's STC hit rate.
+func (s CoreStats) STCHitRate() float64 {
+	t := s.STCHits + s.STCMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.STCHits) / float64(t)
+}
+
+// ControllerConfig sizes the hybrid memory controller.
+type ControllerConfig struct {
+	Layout Layout
+	// STCEntries is the total STC capacity in entries across all channels
+	// (Table 8: 64 KB / 8 B = 8K entries at full scale).
+	STCEntries int
+	STCWays    int
+	NumCores   int
+	// ModelSTTraffic, when true, issues the M1 reads/writebacks for
+	// Swap-group Table misses and dirty evictions (§2.2/§3.2.1). Disabled
+	// only by ablation studies.
+	ModelSTTraffic bool
+}
+
+// Controller is the hardware memory-side of the simulated system: it owns
+// the channels, the authoritative Swap-group Table, the STCs, and runs the
+// plugged migration policy. All methods must be called from the
+// discrete-event loop (single goroutine).
+type Controller struct {
+	cfg    ControllerConfig
+	layout Layout
+	sched  event.Scheduler
+	chans  []*mem.Channel
+	stcs   []*STC
+	alloc  *Allocator
+	policy Policy
+
+	// Authoritative ST state, indexed [group*slots+slot].
+	slots int64   // locations per group (layout.Slots())
+	perm  []uint8 // slot -> location
+	qac   []uint8 // persisted QAC per slot
+	m1    []uint8 // per group: slot currently resident in M1
+
+	swapping  []bool // per group: a swap is in flight
+	pendingST map[int64][]func(now int64)
+
+	Cores     []CoreStats
+	STReads   int64
+	STWrites  int64
+	SwapsDone int64
+
+	// readHist tracks per-core read-latency distributions (64-cycle
+	// buckets up to 16K cycles), for tail-latency reporting.
+	readHist []*stats.Histogram
+}
+
+// NewController wires the controller to its channels and event scheduler.
+func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator, policy Policy, sched event.Scheduler) (*Controller, error) {
+	l := cfg.Layout
+	if len(chans) != l.Channels {
+		return nil, fmt.Errorf("hybrid: %d channels configured, %d provided", l.Channels, len(chans))
+	}
+	if cfg.STCEntries <= 0 || cfg.STCEntries%l.Channels != 0 {
+		return nil, fmt.Errorf("hybrid: STC entries %d not divisible across %d channels", cfg.STCEntries, l.Channels)
+	}
+	if l.Slots() > MaxSlots {
+		return nil, fmt.Errorf("hybrid: %d locations per group exceed the hardware bound %d", l.Slots(), MaxSlots)
+	}
+	c := &Controller{
+		cfg:       cfg,
+		layout:    l,
+		sched:     sched,
+		chans:     chans,
+		alloc:     alloc,
+		policy:    policy,
+		slots:     int64(l.Slots()),
+		perm:      make([]uint8, l.Groups*int64(l.Slots())),
+		qac:       make([]uint8, l.Groups*int64(l.Slots())),
+		m1:        make([]uint8, l.Groups),
+		swapping:  make([]bool, l.Groups),
+		pendingST: make(map[int64][]func(now int64)),
+		Cores:     make([]CoreStats, cfg.NumCores),
+	}
+	for i := 0; i < cfg.NumCores; i++ {
+		c.readHist = append(c.readHist, stats.NewHistogram(256, 0, 64))
+	}
+	// Identity initial mapping: slot s sits at location s, so slot 0 (the
+	// first ninth of the OS address space per group) starts in M1.
+	for g := int64(0); g < l.Groups; g++ {
+		for s := int64(0); s < c.slots; s++ {
+			c.perm[g*c.slots+s] = uint8(s)
+		}
+	}
+	for ch := 0; ch < l.Channels; ch++ {
+		stc, err := NewSTC(cfg.STCEntries/l.Channels, cfg.STCWays, int64(l.Channels))
+		if err != nil {
+			return nil, err
+		}
+		c.stcs = append(c.stcs, stc)
+	}
+	return c, nil
+}
+
+// Layout returns the controller's layout.
+func (c *Controller) Layout() Layout { return c.layout }
+
+// Policy returns the plugged migration policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Channels returns the controller's channels.
+func (c *Controller) Channels() []*mem.Channel { return c.chans }
+
+// STCs returns the per-channel Swap-group Table Caches.
+func (c *Controller) STCs() []*STC { return c.stcs }
+
+// STCHitRate returns the aggregate STC hit rate.
+func (c *Controller) STCHitRate() float64 {
+	var h, m int64
+	for _, s := range c.stcs {
+		h += s.Hits
+		m += s.Misses
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// permAt returns the location of (group, slot).
+func (c *Controller) permAt(group int64, slot int) int {
+	return int(c.perm[group*c.slots+int64(slot)])
+}
+
+// qacAt returns the persisted QAC array of a group.
+func (c *Controller) qacAt(group int64) [MaxSlots]uint8 {
+	var out [MaxSlots]uint8
+	copy(out[:], c.qac[group*c.slots:group*c.slots+c.slots])
+	return out
+}
+
+// M1Slot implements PolicyContext.
+func (c *Controller) M1Slot(group int64) int { return int(c.m1[group]) }
+
+// LocationIndex returns the current location index of block (group, slot):
+// 0 means the block resides in M1. Exposed for tests and instrumentation.
+func (c *Controller) LocationIndex(group int64, slot int) int { return c.permAt(group, slot) }
+
+// ReadLatencyQuantile returns the approximate q-quantile of a core's read
+// latency distribution, in cycles.
+func (c *Controller) ReadLatencyQuantile(core int, q float64) float64 {
+	return c.readHist[core].Quantile(q)
+}
+
+// Owner implements PolicyContext.
+func (c *Controller) Owner(group int64, slot int) int { return c.alloc.Owner(group, slot) }
+
+// SwapLatency implements PolicyContext.
+func (c *Controller) SwapLatency() int64 { return c.chans[0].Config().SwapLatency() }
+
+// ReadLatencyGap implements PolicyContext: the M2-M1 unloaded 64-B read
+// latency difference (123.75 ns with Table 8 timings).
+func (c *Controller) ReadLatencyGap() int64 {
+	cfg := c.chans[0].Config()
+	return cfg.M2Timing.ReadMissLatency() - cfg.M1Timing.ReadMissLatency()
+}
+
+// Submit admits one 64-B demand access at the original physical address.
+// onDone (optional) fires when the data burst completes, with the total
+// latency from submission.
+func (c *Controller) Submit(core int, origAddr int64, write bool, onDone func(now, latency int64)) {
+	submitAt := c.sched.Now()
+	block := origAddr / c.layout.BlockBytes
+	group := c.layout.Group(block)
+	slot := c.layout.Slot(block)
+	chIdx := c.layout.Channel(group)
+	stc := c.stcs[chIdx]
+
+	if e := stc.Lookup(group); e != nil {
+		c.Cores[core].STCHits++
+		c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
+		return
+	}
+	c.Cores[core].STCMisses++
+	// Coalesce concurrent misses to the same group (MSHR-style).
+	if cbs, busy := c.pendingST[group]; busy {
+		c.pendingST[group] = append(cbs, func(now int64) {
+			e := stc.Peek(group)
+			c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
+		})
+		return
+	}
+	c.pendingST[group] = nil
+	fill := func(now int64) {
+		if ev := stc.Insert(group, c.qacAt(group)); ev != nil {
+			c.handleEviction(chIdx, ev)
+		}
+		e := stc.Peek(group)
+		c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
+		cbs := c.pendingST[group]
+		delete(c.pendingST, group)
+		for _, cb := range cbs {
+			cb(now)
+		}
+	}
+	if !c.cfg.ModelSTTraffic {
+		fill(c.sched.Now())
+		return
+	}
+	c.STReads++
+	bank, row := c.chans[chIdx].Config().M1Geom.Decompose(c.layout.STLineAddr(group))
+	c.chans[chIdx].Enqueue(&mem.Request{
+		Module: mem.M1, Bank: bank, Row: row, Core: -1,
+		OnDone: fill,
+	})
+}
+
+// serve translates and issues the demand access, updates counters, and
+// consults the migration policy.
+func (c *Controller) serve(core int, group int64, slot int, origAddr int64, write bool, e *STCEntry, submitAt int64, onDone func(now, latency int64)) {
+	loc := c.permAt(group, slot)
+	weight := 1
+	if write {
+		weight = c.policy.WriteWeight()
+	}
+	e.Bump(slot, weight)
+
+	region := c.layout.Region(group)
+	private := c.alloc.IsPrivate(core, region)
+	fromM1 := loc == 0
+	cs := &c.Cores[core]
+	cs.Served++
+	if fromM1 {
+		cs.ServedM1++
+	}
+	if write {
+		cs.Writes++
+	} else {
+		cs.Reads++
+	}
+	c.policy.OnServed(core, region, private, fromM1)
+	c.policy.OnAccess(AccessInfo{
+		Now:   c.sched.Now(),
+		Core:  core,
+		Group: group,
+		Slot:  slot,
+		Loc:   loc,
+		Write: write,
+		Entry: e,
+	}, c)
+
+	chIdx := c.layout.Channel(group)
+	location := c.layout.LocationOf(group, loc)
+	offset := origAddr % c.layout.BlockBytes
+	geom := c.chans[chIdx].Config().Geom(location.Module)
+	bank, row := geom.Decompose(location.ByteAddr + offset)
+	c.chans[chIdx].Enqueue(&mem.Request{
+		Module: location.Module, Bank: bank, Row: row, IsWrite: write, Core: core,
+		OnDone: func(now int64) {
+			if !write {
+				cs.ReadLat += now - submitAt
+				cs.ReadCount++
+				c.readHist[core].Add(float64(now - submitAt))
+			}
+			if onDone != nil {
+				onDone(now, now-submitAt)
+			}
+		},
+	})
+}
+
+// handleEviction persists QAC updates, feeds MDM statistics, and issues
+// the dirty ST writeback.
+func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
+	for _, b := range ev.Blocks {
+		qE := QuantizeCount(b.Count)
+		c.qac[ev.Group*c.slots+int64(b.Slot)] = qE
+		owner := c.alloc.Owner(ev.Group, b.Slot)
+		if owner >= 0 {
+			c.policy.OnSTCEvict(owner, b.QInsert, qE, b.Count)
+		}
+	}
+	if ev.Dirty && c.cfg.ModelSTTraffic {
+		c.STWrites++
+		bank, row := c.chans[chIdx].Config().M1Geom.Decompose(c.layout.STLineAddr(ev.Group))
+		c.chans[chIdx].Enqueue(&mem.Request{
+			Module: mem.M1, Bank: bank, Row: row, IsWrite: true, Core: -1,
+		})
+	}
+}
+
+// ScheduleSwap implements PolicyContext: swap block (group, slot) with the
+// group's M1 resident. The channel is blocked for the swap duration; the
+// mapping is updated when the swap completes.
+func (c *Controller) ScheduleSwap(group int64, slot int) bool {
+	if c.swapping[group] {
+		return false
+	}
+	loc := c.permAt(group, slot)
+	if loc == 0 {
+		return false
+	}
+	c.swapping[group] = true
+	chIdx := c.layout.Channel(group)
+	m1Slot := int(c.m1[group])
+	m1Location := c.layout.LocationOf(group, 0)
+	m2Location := c.layout.LocationOf(group, loc)
+	ch := c.chans[chIdx]
+
+	toSwapLoc := func(l Location) mem.SwapLocation {
+		geom := ch.Config().Geom(l.Module)
+		bank, row := geom.Decompose(l.ByteAddr)
+		return mem.SwapLocation{Module: l.Module, Bank: bank, Row: row}
+	}
+	ch.Swap(toSwapLoc(m1Location), toSwapLoc(m2Location), func(now int64) {
+		// Commit the remap: promoted block to location 0, demoted block
+		// to the promoted block's old location.
+		c.perm[group*c.slots+int64(slot)] = 0
+		c.perm[group*c.slots+int64(m1Slot)] = uint8(loc)
+		c.m1[group] = uint8(slot)
+		c.swapping[group] = false
+		c.SwapsDone++
+		c.stcs[chIdx].MarkDirty(group)
+
+		region := c.layout.Region(group)
+		private := c.alloc.IsAnyPrivate(region)
+		ownerM1 := c.alloc.Owner(group, m1Slot)
+		ownerM2 := c.alloc.Owner(group, slot)
+		if ownerM2 >= 0 && ownerM2 < len(c.Cores) {
+			c.Cores[ownerM2].Swaps++
+		}
+		c.policy.OnSwapDone(region, private, ownerM1, ownerM2)
+	})
+	return true
+}
+
+// FlushSTCs drains all STC entries (end of simulation) so the final QAC
+// updates and MDM statistics are accounted for.
+func (c *Controller) FlushSTCs() {
+	for chIdx, stc := range c.stcs {
+		for _, ev := range stc.FlushAll() {
+			c.handleEviction(chIdx, ev)
+		}
+	}
+}
+
+// Counts sums the channel event counters.
+func (c *Controller) Counts() mem.EventCounts {
+	var total mem.EventCounts
+	for _, ch := range c.chans {
+		total.Add(ch.Counts)
+	}
+	return total
+}
+
+var _ PolicyContext = (*Controller)(nil)

@@ -1,0 +1,89 @@
+package hybrid
+
+// AccessInfo is what a migration policy sees on every demand access, after
+// the STC access counter has been bumped (§3.2.3: "Upon an access to a
+// block, the MC increments its access counter in the STC", then decides).
+type AccessInfo struct {
+	Now   int64
+	Core  int   // requesting program
+	Group int64 // swap group of the accessed block
+	Slot  int   // accessed block's slot (identity within the group)
+	Loc   int   // accessed block's current location (0 = M1)
+	Write bool
+	Entry *STCEntry // resident ST entry with live counters
+}
+
+// PolicyContext is the controller surface a policy may consult and act on.
+type PolicyContext interface {
+	// M1Slot returns the slot whose block currently occupies the group's
+	// M1 location.
+	M1Slot(group int64) int
+	// Owner returns the program owning the original block (group, slot),
+	// or -1 if the block is unallocated.
+	Owner(group int64, slot int) int
+	// ScheduleSwap requests promotion of block (group, slot) into M1,
+	// swapping it with the group's current M1 resident. It returns false
+	// if the swap cannot be scheduled (block already in M1, or a swap for
+	// the group is already in flight).
+	ScheduleSwap(group int64, slot int) bool
+	// SwapLatency returns the channel-blocking cost of one swap in cycles,
+	// for policies that estimate benefit dynamically.
+	SwapLatency() int64
+	// ReadLatencyGap returns the unloaded 64-B read latency difference
+	// between M2 and M1 (the per-access benefit of having a block in M1).
+	ReadLatencyGap() int64
+}
+
+// Policy is a migration algorithm plugged into the controller. Table 2's
+// baselines (CAMEO, PoM, SILC-FM, MemPod) and the paper's MDM/ProFess all
+// implement it.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// WriteWeight is how many accesses one write counts as when bumping
+	// block access counters (§4.1: 8 for PoM and ProFess in this system,
+	// 1 for MemPod).
+	WriteWeight() int
+	// OnAccess is invoked for every demand access.
+	OnAccess(info AccessInfo, ctl PolicyContext)
+	// OnServed is invoked for every demand access with the RSM-relevant
+	// attribution: the request's region, whether that region is the
+	// requesting program's private region, and whether the block was
+	// served from M1.
+	OnServed(core, region int, private, fromM1 bool)
+	// OnSTCEvict is invoked at ST-entry eviction for every block with a
+	// non-zero access count: owner program, QAC at insertion (q_I), the
+	// quantized count at eviction (q_E) and the raw count.
+	OnSTCEvict(core int, qI, qE uint8, count uint32)
+	// OnSwapDone is invoked when a swap completes. ownerM1 is the program
+	// whose block was demoted (previous M1 resident), ownerM2 the program
+	// whose block was promoted; private reports whether the group lies in
+	// a private region (RSM does not count swaps there, §3.1.2).
+	OnSwapDone(region int, private bool, ownerM1, ownerM2 int)
+}
+
+// BasePolicy provides no-op implementations of the optional hooks so
+// simple policies only implement what they need.
+type BasePolicy struct{}
+
+// WriteWeight returns 1.
+func (BasePolicy) WriteWeight() int { return 1 }
+
+// OnServed does nothing.
+func (BasePolicy) OnServed(core, region int, private, fromM1 bool) {}
+
+// OnSTCEvict does nothing.
+func (BasePolicy) OnSTCEvict(core int, qI, qE uint8, count uint32) {}
+
+// OnSwapDone does nothing.
+func (BasePolicy) OnSwapDone(region int, private bool, ownerM1, ownerM2 int) {}
+
+// NoMigration is the static policy: blocks never move. It is the
+// degenerate baseline used by tests and the capacity-sweep example.
+type NoMigration struct{ BasePolicy }
+
+// Name implements Policy.
+func (NoMigration) Name() string { return "static" }
+
+// OnAccess does nothing: no swaps ever.
+func (NoMigration) OnAccess(info AccessInfo, ctl PolicyContext) {}

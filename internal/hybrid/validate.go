@@ -1,0 +1,139 @@
+package hybrid
+
+import "fmt"
+
+// CheckInvariants walks the controller's authoritative state and verifies
+// the structural invariants every migration algorithm must preserve:
+//
+//  1. each group's slot->location map is a permutation (no two blocks
+//     share a physical location, no block is lost);
+//  2. m1[group] names exactly the slot mapped to location 0;
+//  3. persisted QAC values are valid 2-bit codes;
+//  4. no group is marked swapping outside an in-flight swap window.
+//
+// It returns the first violation found. Tests call it after stress runs;
+// downstream policy authors can call it while debugging a custom policy.
+func (c *Controller) CheckInvariants() error {
+	slots := int(c.slots)
+	seen := make([]bool, slots)
+	for g := int64(0); g < c.layout.Groups; g++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		for s := 0; s < slots; s++ {
+			loc := c.permAt(g, s)
+			if loc < 0 || loc >= slots {
+				return fmt.Errorf("hybrid: group %d slot %d maps to invalid location %d", g, s, loc)
+			}
+			if seen[loc] {
+				return fmt.Errorf("hybrid: group %d location %d claimed twice", g, loc)
+			}
+			seen[loc] = true
+		}
+		if got := c.permAt(g, int(c.m1[g])); got != 0 {
+			return fmt.Errorf("hybrid: group %d m1 slot %d maps to location %d, want 0", g, c.m1[g], got)
+		}
+		for s := 0; s < slots; s++ {
+			if q := c.qac[g*c.slots+int64(s)]; q > 3 {
+				return fmt.Errorf("hybrid: group %d slot %d has invalid QAC %d", g, s, q)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckedPolicy wraps a Policy and validates every hook invocation's
+// arguments against the organization's contracts, collecting violations
+// instead of panicking. Wrap a custom policy with it while developing:
+//
+//	policy := hybrid.NewCheckedPolicy(myPolicy, layout)
+//	... run ...
+//	for _, v := range policy.Violations() { ... }
+type CheckedPolicy struct {
+	inner  Policy
+	layout Layout
+	viols  []string
+}
+
+// NewCheckedPolicy wraps inner.
+func NewCheckedPolicy(inner Policy, layout Layout) *CheckedPolicy {
+	return &CheckedPolicy{inner: inner, layout: layout}
+}
+
+// Violations returns the recorded contract violations.
+func (p *CheckedPolicy) Violations() []string { return p.viols }
+
+func (p *CheckedPolicy) violate(format string, args ...interface{}) {
+	if len(p.viols) < 100 { // bound memory under pathological input
+		p.viols = append(p.viols, fmt.Sprintf(format, args...))
+	}
+}
+
+// Name implements Policy.
+func (p *CheckedPolicy) Name() string { return p.inner.Name() }
+
+// WriteWeight implements Policy.
+func (p *CheckedPolicy) WriteWeight() int {
+	if w := p.inner.WriteWeight(); w > 0 {
+		return w
+	}
+	p.violate("WriteWeight must be positive")
+	return 1
+}
+
+// OnAccess implements Policy.
+func (p *CheckedPolicy) OnAccess(info AccessInfo, ctl PolicyContext) {
+	if info.Group < 0 || info.Group >= p.layout.Groups {
+		p.violate("OnAccess: group %d out of range", info.Group)
+	}
+	if info.Slot < 0 || info.Slot >= p.layout.Slots() {
+		p.violate("OnAccess: slot %d out of range", info.Slot)
+	}
+	if info.Loc < 0 || info.Loc >= p.layout.Slots() {
+		p.violate("OnAccess: location %d out of range", info.Loc)
+	}
+	if info.Entry == nil {
+		p.violate("OnAccess: nil STC entry")
+		return
+	}
+	if info.Loc == 0 && ctl.M1Slot(info.Group) != info.Slot {
+		p.violate("OnAccess: block at location 0 but M1Slot says %d != %d",
+			ctl.M1Slot(info.Group), info.Slot)
+	}
+	p.inner.OnAccess(info, ctl)
+}
+
+// OnServed implements Policy.
+func (p *CheckedPolicy) OnServed(core, region int, private, fromM1 bool) {
+	if region < 0 || region >= p.layout.Regions {
+		p.violate("OnServed: region %d out of range", region)
+	}
+	p.inner.OnServed(core, region, private, fromM1)
+}
+
+// OnSTCEvict implements Policy.
+func (p *CheckedPolicy) OnSTCEvict(core int, qI, qE uint8, count uint32) {
+	if qE == 0 || qE > 3 {
+		p.violate("OnSTCEvict: invalid q_E %d (blocks with zero counts must not be reported)", qE)
+	}
+	if qI > 3 {
+		p.violate("OnSTCEvict: invalid q_I %d", qI)
+	}
+	if count == 0 {
+		p.violate("OnSTCEvict: zero count reported")
+	}
+	if QuantizeCount(count) != qE {
+		p.violate("OnSTCEvict: count %d quantizes to %d, reported %d", count, QuantizeCount(count), qE)
+	}
+	p.inner.OnSTCEvict(core, qI, qE, count)
+}
+
+// OnSwapDone implements Policy.
+func (p *CheckedPolicy) OnSwapDone(region int, private bool, ownerM1, ownerM2 int) {
+	if region < 0 || region >= p.layout.Regions {
+		p.violate("OnSwapDone: region %d out of range", region)
+	}
+	p.inner.OnSwapDone(region, private, ownerM1, ownerM2)
+}
+
+var _ Policy = (*CheckedPolicy)(nil)

@@ -1,0 +1,99 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckInvariantsClean(t *testing.T) {
+	p := &recPolicy{swapOnM2: true}
+	h := newHarness(t, 64, p)
+	// Stress: many accesses with aggressive swapping.
+	for pg := 0; pg < 200; pg++ {
+		h.submit(h.addrOf(pg%len(h.vmap), int64(pg%64)*64), pg%3 == 0)
+	}
+	if err := h.ctl.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after stress: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	p := &recPolicy{}
+	h := newHarness(t, 64, p)
+	// Corrupt the permutation: duplicate a location.
+	h.ctl.perm[0], h.ctl.perm[1] = 3, 3
+	err := h.ctl.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "claimed twice") {
+		t.Errorf("corruption not detected: %v", err)
+	}
+	// Repair and corrupt QAC instead.
+	h.ctl.perm[0], h.ctl.perm[1] = 0, 1
+	h.ctl.qac[5] = 9
+	err = h.ctl.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "QAC") {
+		t.Errorf("QAC corruption not detected: %v", err)
+	}
+}
+
+func TestCheckedPolicyCleanRun(t *testing.T) {
+	inner := &recPolicy{swapOnM2: true}
+	p := &recPolicy{} // placeholder to build the harness layout
+	h := newHarness(t, 64, p)
+	checked := NewCheckedPolicy(inner, h.layout)
+	// Drive the checked policy through a real controller.
+	h2 := &ctlHarness{}
+	*h2 = *h
+	// Rebuild a controller around the checked policy.
+	// (Simpler: exercise the hooks directly with valid arguments.)
+	checked.OnServed(0, 5, false, true)
+	checked.OnSTCEvict(0, 1, 2, 10)
+	checked.OnSwapDone(5, false, 0, 0)
+	if checked.WriteWeight() != 1 {
+		t.Error("write weight passthrough")
+	}
+	if checked.Name() != "rec" {
+		t.Error("name passthrough")
+	}
+	if len(checked.Violations()) != 0 {
+		t.Fatalf("clean usage produced violations: %v", checked.Violations())
+	}
+	if len(inner.served) != 1 || len(inner.evicts) != 1 || len(inner.swaps) != 1 {
+		t.Error("hooks did not pass through")
+	}
+}
+
+func TestCheckedPolicyDetectsViolations(t *testing.T) {
+	inner := &recPolicy{}
+	l := testLayout(t)
+	checked := NewCheckedPolicy(inner, l)
+	checked.OnServed(0, l.Regions+5, false, true) // bad region
+	checked.OnSTCEvict(0, 1, 0, 10)               // q_E = 0 invalid
+	checked.OnSTCEvict(0, 9, 2, 10)               // q_I out of range
+	checked.OnSTCEvict(0, 1, 1, 10)               // count 10 quantizes to 2, not 1
+	checked.OnSwapDone(-1, false, 0, 0)           // bad region
+	checked.OnAccess(AccessInfo{Group: -1, Slot: 99, Loc: 99}, &fakePolicyCtx{})
+	v := checked.Violations()
+	if len(v) < 6 {
+		t.Fatalf("violations = %d: %v", len(v), v)
+	}
+}
+
+// fakePolicyCtx satisfies PolicyContext minimally for hook-level tests.
+type fakePolicyCtx struct{}
+
+func (*fakePolicyCtx) M1Slot(int64) int             { return 0 }
+func (*fakePolicyCtx) Owner(int64, int) int         { return 0 }
+func (*fakePolicyCtx) ScheduleSwap(int64, int) bool { return false }
+func (*fakePolicyCtx) SwapLatency() int64           { return 1 }
+func (*fakePolicyCtx) ReadLatencyGap() int64        { return 1 }
+
+func TestCheckedPolicyBoundsViolationLog(t *testing.T) {
+	inner := &recPolicy{}
+	checked := NewCheckedPolicy(inner, testLayout(t))
+	for i := 0; i < 500; i++ {
+		checked.OnSTCEvict(0, 1, 0, 1)
+	}
+	if len(checked.Violations()) > 100 {
+		t.Errorf("violation log unbounded: %d", len(checked.Violations()))
+	}
+}

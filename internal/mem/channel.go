@@ -1,0 +1,324 @@
+package mem
+
+import (
+	"fmt"
+
+	"profess/internal/event"
+)
+
+// ChannelConfig describes one memory channel: an M1 module and an M2 module
+// sharing a 64-bit data bus (the Intel Purley-style arrangement of §2.2).
+type ChannelConfig struct {
+	M1Timing Timing
+	M2Timing Timing
+	M1Geom   Geometry
+	M2Geom   Geometry
+	// RowHitCap is FR-FCFS-Cap's limit on consecutive row-buffer hits a
+	// bank may enjoy before losing scheduling priority (Table 8: 4).
+	RowHitCap int
+	// BlockBytes is the migration block size (Table 8: 2 KB); it sets the
+	// number of 64-B bursts a swap moves per block.
+	BlockBytes int64
+}
+
+// DefaultChannelConfig returns a channel with Table 8 timings and the given
+// per-channel module capacities.
+func DefaultChannelConfig(m1Capacity, m2Capacity int64) ChannelConfig {
+	return ChannelConfig{
+		M1Timing:   DefaultM1Timing(),
+		M2Timing:   DefaultM2Timing(),
+		M1Geom:     GeometryForCapacity(m1Capacity),
+		M2Geom:     GeometryForCapacity(m2Capacity),
+		RowHitCap:  4,
+		BlockBytes: 2 << 10,
+	}
+}
+
+// Timing returns the timing parameters for the given partition.
+func (c ChannelConfig) Timing(k Kind) Timing {
+	if k == M1 {
+		return c.M1Timing
+	}
+	return c.M2Timing
+}
+
+// Geom returns the geometry for the given partition.
+func (c ChannelConfig) Geom(k Kind) Geometry {
+	if k == M1 {
+		return c.M1Geom
+	}
+	return c.M2Geom
+}
+
+// SwapLatency returns the analytic latency of one fast swap (§4.1): read
+// both 2-KB blocks into the swap buffers, then write them back to the
+// opposite modules. Read latencies partially overlap; the shared data bus
+// serialises the bursts; the M1 write overlaps M2's long write recovery.
+// With Table 8 values this is 796.25 ns (2548 CPU cycles), matching the
+// paper's analytic number.
+func (c ChannelConfig) SwapLatency() int64 {
+	n := c.BlockBytes / 64 // bursts per block
+	t1, t2 := c.M1Timing, c.M2Timing
+	m1ReadDone := t1.TRP + t1.TRCD + t1.CL + n*t1.Burst
+	m2DataStart := t2.TRP + t2.TRCD + t2.CL
+	if m1ReadDone > m2DataStart {
+		m2DataStart = m1ReadDone
+	}
+	m2ReadDone := m2DataStart + n*t2.Burst
+	// Write phase: the 32 bursts to M2 go first, then M2's write recovery,
+	// which hides both the M1 write bursts and M1's recovery.
+	return m2ReadDone + n*t2.Burst + t2.TWR
+}
+
+type bank struct {
+	openRow            int64 // -1 when closed
+	busyUntil          int64 // earliest next column/activate command
+	writeRecoveryUntil int64 // earliest precharge after the last write
+	hitStreak          int
+	inflight           bool
+	refreshSeen        int64 // last refresh window applied to this bank
+}
+
+// Channel models one memory channel: two module bank arrays, a shared data
+// bus, an FR-FCFS-Cap scheduler and swap blocking. It is not safe for
+// concurrent use; the discrete-event engine serialises all calls.
+type Channel struct {
+	cfg   ChannelConfig
+	sched event.Scheduler
+
+	banks        [2][]bank
+	busFreeAt    int64
+	blockedUntil int64 // swaps block the whole channel
+	queue        []*Request
+	nextSeq      int64
+	refCounted   [2]int64 // refresh windows accounted per partition
+
+	// Counts tallies served events for energy and figure-of-merit use.
+	Counts EventCounts
+	// BusBusyCycles accumulates data-bus occupancy (demand bursts only).
+	BusBusyCycles int64
+	// QueueDepthSamples support average-queue-depth reporting.
+	queueDepthSum int64
+	queueSamples  int64
+}
+
+// NewChannel builds a channel bound to the given event scheduler.
+func NewChannel(cfg ChannelConfig, sched event.Scheduler) *Channel {
+	if cfg.RowHitCap <= 0 {
+		cfg.RowHitCap = 4
+	}
+	ch := &Channel{cfg: cfg, sched: sched}
+	for k := 0; k < 2; k++ {
+		g := ch.cfg.Geom(Kind(k))
+		ch.banks[k] = make([]bank, g.Banks)
+		for i := range ch.banks[k] {
+			ch.banks[k][i].openRow = -1
+		}
+	}
+	return ch
+}
+
+// Config returns the channel's configuration.
+func (ch *Channel) Config() ChannelConfig { return ch.cfg }
+
+// QueueLen returns the number of requests waiting (not yet issued to banks).
+func (ch *Channel) QueueLen() int { return len(ch.queue) }
+
+// AvgQueueDepth returns the mean queue depth sampled at every enqueue.
+func (ch *Channel) AvgQueueDepth() float64 {
+	if ch.queueSamples == 0 {
+		return 0
+	}
+	return float64(ch.queueDepthSum) / float64(ch.queueSamples)
+}
+
+// Enqueue admits a request to the channel at the current time and attempts
+// to dispatch. The request's OnDone fires when its data burst completes.
+func (ch *Channel) Enqueue(r *Request) {
+	now := ch.sched.Now()
+	r.Arrival = now
+	ch.nextSeq++
+	r.seq = ch.nextSeq
+	ch.queue = append(ch.queue, r)
+	ch.queueDepthSum += int64(len(ch.queue))
+	ch.queueSamples++
+	ch.tryDispatch(now)
+}
+
+// tryDispatch issues every schedulable request per FR-FCFS-Cap: prefer the
+// oldest row-buffer-hitting request whose bank streak is under the cap;
+// otherwise the oldest request overall. A bank holds at most one in-flight
+// request so bank-level parallelism is preserved while the shared bus
+// serialises data bursts.
+func (ch *Channel) tryDispatch(now int64) {
+	if now < ch.blockedUntil {
+		// The channel is blocked by a swap; retry when it unblocks.
+		at := ch.blockedUntil
+		ch.sched.At(at, func(t int64) { ch.tryDispatch(t) })
+		return
+	}
+	for {
+		idx := ch.pick()
+		if idx < 0 {
+			return
+		}
+		r := ch.queue[idx]
+		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+		ch.issue(now, r)
+	}
+}
+
+// pick returns the queue index to issue next, or -1 if nothing can issue.
+func (ch *Channel) pick() int {
+	firstReady := -1
+	for i, r := range ch.queue {
+		b := &ch.banks[r.Module][r.Bank]
+		if b.inflight {
+			continue
+		}
+		if firstReady < 0 {
+			firstReady = i
+		}
+		if b.openRow == r.Row && b.hitStreak < ch.cfg.RowHitCap {
+			return i // oldest capped row hit wins
+		}
+	}
+	return firstReady
+}
+
+// issue performs the timing computation for one request and schedules its
+// completion.
+func (ch *Channel) issue(now int64, r *Request) {
+	k := r.Module
+	t := ch.cfg.Timing(k)
+	b := &ch.banks[k][r.Bank]
+
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	// Refresh: landing inside a refresh window stalls past it; any
+	// refresh since the bank's last use closed its rows.
+	if t.TREFI > 0 {
+		win := start / t.TREFI
+		if rEnd := win*t.TREFI + t.TRFC; start < rEnd && win > 0 {
+			start = rEnd
+		}
+		if win > b.refreshSeen {
+			b.refreshSeen = win
+			b.openRow = -1
+			b.hitStreak = 0
+		}
+		if win > ch.refCounted[k] {
+			ch.Counts.Refreshes[k] += win - ch.refCounted[k]
+			ch.refCounted[k] = win
+		}
+	}
+	if b.openRow == r.Row {
+		ch.Counts.RowHits[k]++
+		b.hitStreak++
+	} else {
+		ch.Counts.RowMisses[k]++
+		if b.openRow >= 0 {
+			// Precharge the open row; respect write recovery.
+			if b.writeRecoveryUntil > start {
+				start = b.writeRecoveryUntil
+			}
+			start += t.TRP
+			ch.Counts.Precharges[k]++
+		}
+		start += t.TRCD
+		ch.Counts.Activates[k]++
+		b.openRow = r.Row
+		b.hitStreak = 0
+	}
+	// Column command -> data on the bus. Writes use CL as CWL.
+	dataAt := start + t.CL
+	if dataAt < ch.busFreeAt {
+		dataAt = ch.busFreeAt
+	}
+	done := dataAt + t.Burst
+	ch.busFreeAt = done
+	ch.BusBusyCycles += t.Burst
+	b.busyUntil = done
+	if r.IsWrite {
+		b.writeRecoveryUntil = done + t.TWR
+		ch.Counts.Writes[k]++
+	} else {
+		ch.Counts.Reads[k]++
+	}
+	b.inflight = true
+	ch.sched.At(done, func(tNow int64) {
+		b.inflight = false
+		if r.OnDone != nil {
+			r.OnDone(tNow)
+		}
+		ch.tryDispatch(tNow)
+	})
+}
+
+// SwapLocation names one 2-KB block's physical placement for a swap.
+type SwapLocation struct {
+	Module Kind
+	Bank   int
+	Row    int64
+}
+
+// Swap blocks the channel for one block swap between the given M1 and M2
+// locations, counts the component traffic, and invokes onDone when the swap
+// completes. It returns the completion time. Per §4.1 the channel is
+// blocked for the whole swap and row-buffer state of the involved banks is
+// perturbed (we close their rows).
+func (ch *Channel) Swap(m1Loc, m2Loc SwapLocation, onDone func(now int64)) int64 {
+	now := ch.sched.Now()
+	start := now
+	if ch.busFreeAt > start {
+		start = ch.busFreeAt
+	}
+	if ch.blockedUntil > start {
+		start = ch.blockedUntil
+	}
+	end := start + ch.cfg.SwapLatency()
+	ch.blockedUntil = end
+	ch.busFreeAt = end
+	ch.Counts.Swaps++
+	ch.Counts.SwapBusy += end - start
+
+	n := ch.cfg.BlockBytes / 64
+	ch.Counts.SwapReads[M1] += n
+	ch.Counts.SwapReads[M2] += n
+	ch.Counts.SwapWrites[M1] += n
+	ch.Counts.SwapWrites[M2] += n
+	// One activation per involved row on each side (block = quarter row at
+	// Table 8 sizes, but a swap touches each block's row once per phase).
+	ch.Counts.Activates[M1]++
+	ch.Counts.Activates[M2]++
+
+	closeBank := func(loc SwapLocation) {
+		b := &ch.banks[loc.Module][loc.Bank]
+		b.openRow = -1
+		b.hitStreak = 0
+		if b.busyUntil < end {
+			b.busyUntil = end
+		}
+	}
+	closeBank(m1Loc)
+	closeBank(m2Loc)
+
+	ch.sched.At(end, func(t int64) {
+		if onDone != nil {
+			onDone(t)
+		}
+		ch.tryDispatch(t)
+	})
+	return end
+}
+
+// BlockedUntil exposes the current swap-blocking horizon (for tests).
+func (ch *Channel) BlockedUntil() int64 { return ch.blockedUntil }
+
+// String summarises the channel state.
+func (ch *Channel) String() string {
+	return fmt.Sprintf("channel{queue=%d busFree=%d blocked=%d swaps=%d}",
+		len(ch.queue), ch.busFreeAt, ch.blockedUntil, ch.Counts.Swaps)
+}

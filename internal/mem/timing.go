@@ -1,0 +1,128 @@
+// Package mem implements the off-chip memory substrate of the ProFess
+// simulator: DDR-style bank and row-buffer timing for both the DRAM
+// partition (M1) and the NVM partition (M2), an open-page FR-FCFS-Cap
+// memory scheduler, channel-blocking swaps, and event counting for the
+// energy model.
+//
+// All times are expressed in CPU cycles at the core frequency (3.2 GHz in
+// the paper's Table 8), so 1 ns = 3.2 cycles and one 0.8 GHz channel cycle
+// = 4 CPU cycles. Using a single clock keeps the discrete-event simulator
+// simple and exact.
+package mem
+
+// CyclesPerNs is the CPU-clock conversion factor (3.2 GHz core).
+const CyclesPerNs = 3.2
+
+// Cycles converts nanoseconds to (rounded) CPU cycles.
+func Cycles(ns float64) int64 {
+	return int64(ns*CyclesPerNs + 0.5)
+}
+
+// Kind distinguishes the two memory partitions of the hybrid memory.
+type Kind uint8
+
+const (
+	// M1 is the fast, small partition (DRAM).
+	M1 Kind = iota
+	// M2 is the slow, large partition (NVM).
+	M2
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == M1 {
+		return "M1"
+	}
+	return "M2"
+}
+
+// Timing holds the per-partition timing parameters of Table 8, in CPU
+// cycles. Only the parameters that drive the model are kept; the remaining
+// DDR timings either match between M1 and M2 in the paper or are folded
+// into these.
+type Timing struct {
+	TRCD  int64 // row-to-column (activate-to-read/write) delay
+	TRP   int64 // precharge latency
+	CL    int64 // CAS (column read) latency
+	TWR   int64 // write-recovery latency (write data end -> precharge)
+	Burst int64 // 64-B data-burst occupancy on the channel data bus
+	// TREFI / TRFC model DRAM refresh: every TREFI cycles the whole rank
+	// is unavailable for TRFC cycles and all rows close. Zero TREFI
+	// disables refresh — Table 8 notes M2 (non-volatile) has none.
+	TREFI int64
+	TRFC  int64
+}
+
+// ReadMissLatency is the unloaded latency of a read that misses the open
+// row in an already-open bank: precharge + activate + CAS + burst.
+func (t Timing) ReadMissLatency() int64 { return t.TRP + t.TRCD + t.CL + t.Burst }
+
+// ReadHitLatency is the unloaded latency of a read hitting the open row.
+func (t Timing) ReadHitLatency() int64 { return t.CL + t.Burst }
+
+// DefaultM1Timing returns Table 8's DRAM timings (DDR4-3200-ish):
+// t_RCD = CL = t_RP = 13.75 ns, t_WR = 15 ns, and a 64-B burst of 8 beats
+// on a 64-bit 1.6 GT/s channel (5 ns).
+func DefaultM1Timing() Timing {
+	return Timing{
+		TRCD:  Cycles(13.75),
+		TRP:   Cycles(13.75),
+		CL:    Cycles(13.75),
+		TWR:   Cycles(15),
+		Burst: Cycles(5),
+		TREFI: Cycles(7800), // 7.8 us average refresh interval
+		TRFC:  Cycles(350),  // 350 ns refresh cycle time
+	}
+}
+
+// DefaultM2Timing returns Table 8's NVM timings: t_RCD ten times that of
+// M1 (137.5 ns) and a highly asymmetric write-recovery latency
+// t_WR = 2 x t_RCD = 275 ns. CL, t_RP and the burst match M1 because the
+// module sits on the same channel.
+func DefaultM2Timing() Timing {
+	m1 := DefaultM1Timing()
+	return Timing{
+		TRCD:  Cycles(137.5),
+		TRP:   m1.TRP,
+		CL:    m1.CL,
+		TWR:   Cycles(275),
+		Burst: m1.Burst,
+	}
+}
+
+// Geometry describes one module's structure (per channel). Rows-per-bank is
+// what differs between M1 and M2 in Table 8 (1K vs 8K): same device count,
+// eight times the density.
+type Geometry struct {
+	Banks       int   // banks per rank (Table 8: 16)
+	RowBytes    int64 // row-buffer size in bytes (Table 8: 8 KB)
+	RowsPerBank int64 // rows per bank
+}
+
+// Capacity returns the module's total byte capacity.
+func (g Geometry) Capacity() int64 {
+	return int64(g.Banks) * g.RowBytes * g.RowsPerBank
+}
+
+// Decompose maps a byte address within the module to (bank, row). Rows are
+// striped across banks so that consecutive rows land in different banks,
+// preserving bank-level parallelism for streaming accesses.
+func (g Geometry) Decompose(addr int64) (bank int, row int64) {
+	rowIdx := addr / g.RowBytes
+	bank = int(rowIdx % int64(g.Banks))
+	row = rowIdx / int64(g.Banks)
+	return bank, row
+}
+
+// GeometryForCapacity builds a Geometry with at least the given total
+// capacity, keeping Table 8's 16 banks and 8-KB rows (rows per bank are
+// rounded up so carve-outs like the Swap-group Table always fit).
+func GeometryForCapacity(capacity int64) Geometry {
+	g := Geometry{Banks: 16, RowBytes: 8 << 10}
+	per := int64(g.Banks) * g.RowBytes
+	g.RowsPerBank = (capacity + per - 1) / per
+	if g.RowsPerBank < 1 {
+		g.RowsPerBank = 1
+	}
+	return g
+}

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCycles(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want int64
+	}{
+		{13.75, 44},
+		{137.5, 440},
+		{15, 48},
+		{275, 880},
+		{5, 16},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := Cycles(c.ns); got != c.want {
+			t.Errorf("Cycles(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestDefaultTimings(t *testing.T) {
+	m1, m2 := DefaultM1Timing(), DefaultM2Timing()
+	// Table 8: t_RCD_M2 = 10 x t_RCD_M1.
+	if m2.TRCD != 10*m1.TRCD {
+		t.Errorf("t_RCD_M2 = %d, want 10x%d", m2.TRCD, m1.TRCD)
+	}
+	// t_WR_M2 = 2 x t_RCD_M2 (275 ns vs 137.5 ns).
+	if m2.TWR != 2*m2.TRCD {
+		t.Errorf("t_WR_M2 = %d, want %d", m2.TWR, 2*m2.TRCD)
+	}
+	// CL, t_RP and bursts match between partitions.
+	if m1.CL != m2.CL || m1.TRP != m2.TRP || m1.Burst != m2.Burst {
+		t.Error("CL/TRP/Burst should match between M1 and M2")
+	}
+}
+
+func TestReadLatencies(t *testing.T) {
+	m1, m2 := DefaultM1Timing(), DefaultM2Timing()
+	// §4.1: the difference in 64-B read (miss) latencies is 123.75 ns.
+	gap := m2.ReadMissLatency() - m1.ReadMissLatency()
+	if want := Cycles(123.75); gap != want {
+		t.Errorf("read-latency gap = %d cycles, want %d", gap, want)
+	}
+	if m1.ReadHitLatency() >= m1.ReadMissLatency() {
+		t.Error("row hit must be faster than miss")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if M1.String() != "M1" || M2.String() != "M2" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestGeometryDecompose(t *testing.T) {
+	g := Geometry{Banks: 16, RowBytes: 8 << 10, RowsPerBank: 64}
+	// First row maps to bank 0 row 0; next row to bank 1 (striping).
+	if b, r := g.Decompose(0); b != 0 || r != 0 {
+		t.Errorf("Decompose(0) = (%d,%d)", b, r)
+	}
+	if b, r := g.Decompose(8 << 10); b != 1 || r != 0 {
+		t.Errorf("Decompose(rowBytes) = (%d,%d), want bank 1", b, r)
+	}
+	if b, r := g.Decompose(16 * 8 << 10); b != 0 || r != 1 {
+		t.Errorf("Decompose(16 rows) = (%d,%d), want bank 0 row 1", b, r)
+	}
+}
+
+func TestGeometryCapacityRoundUp(t *testing.T) {
+	g := GeometryForCapacity(1 << 20)
+	if g.Capacity() < 1<<20 {
+		t.Errorf("capacity %d < requested", g.Capacity())
+	}
+	// Odd capacity rounds up, never down.
+	g2 := GeometryForCapacity(1<<20 + 1)
+	if g2.Capacity() < 1<<20+1 {
+		t.Errorf("capacity %d < requested", g2.Capacity())
+	}
+}
+
+func TestGeometryDecomposeInBoundsProperty(t *testing.T) {
+	g := GeometryForCapacity(4 << 20)
+	f := func(addr int64) bool {
+		if addr < 0 {
+			addr = -addr
+		}
+		addr %= g.Capacity()
+		b, r := g.Decompose(addr)
+		return b >= 0 && b < g.Banks && r >= 0 && r < g.RowsPerBank
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapLatencyAnalytic(t *testing.T) {
+	cfg := DefaultChannelConfig(2<<20, 16<<20)
+	// §4.1 derives a total analytic swap latency of 796.25 ns.
+	if got, want := cfg.SwapLatency(), Cycles(796.25); got != want {
+		t.Errorf("swap latency = %d cycles, want %d (796.25 ns)", got, want)
+	}
+}
+
+func TestEventCountsAdd(t *testing.T) {
+	a := EventCounts{Swaps: 1}
+	a.Reads[M1] = 5
+	b := EventCounts{Swaps: 2}
+	b.Reads[M1] = 7
+	b.Writes[M2] = 3
+	a.Add(b)
+	if a.Swaps != 3 || a.Reads[M1] != 12 || a.Writes[M2] != 3 {
+		t.Errorf("Add result: %+v", a)
+	}
+	if a.DemandAccesses() != 15 {
+		t.Errorf("DemandAccesses = %d", a.DemandAccesses())
+	}
+}

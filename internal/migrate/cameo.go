@@ -1,0 +1,28 @@
+package migrate
+
+import "profess/internal/hybrid"
+
+// CAMEO implements Chou et al.'s CAMEO migration rule (MICRO 2014) as
+// summarised in Table 2: a global threshold of one access — every access
+// to an M2 block immediately promotes it. CAMEO was designed for 64-B
+// blocks and a 1:3 capacity ratio; running it on the paper's PoM-style
+// organization demonstrates exactly the §2.5 pathology: two blocks
+// accessed alternately swap on every access.
+type CAMEO struct {
+	hybrid.BasePolicy
+}
+
+// NewCAMEO builds the policy.
+func NewCAMEO() *CAMEO { return &CAMEO{} }
+
+// Name implements hybrid.Policy.
+func (*CAMEO) Name() string { return "cameo" }
+
+// OnAccess implements hybrid.Policy: promote on any access to M2.
+func (*CAMEO) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	if info.Loc != 0 {
+		ctl.ScheduleSwap(info.Group, info.Slot)
+	}
+}
+
+var _ hybrid.Policy = (*CAMEO)(nil)

@@ -1,0 +1,303 @@
+package migrate
+
+import (
+	"testing"
+
+	"profess/internal/hybrid"
+)
+
+// fakeCtx is a scriptable PolicyContext.
+type fakeCtx struct {
+	m1slot map[int64]int
+	owners map[int64]int
+	swaps  []int64 // key(group, slot) per accepted swap
+	accept bool
+}
+
+func newFakeCtx() *fakeCtx {
+	return &fakeCtx{m1slot: map[int64]int{}, owners: map[int64]int{}, accept: true}
+}
+
+func (f *fakeCtx) M1Slot(group int64) int { return f.m1slot[group] }
+func (f *fakeCtx) Owner(group int64, slot int) int {
+	if o, ok := f.owners[key(group, slot)]; ok {
+		return o
+	}
+	return 0
+}
+func (f *fakeCtx) ScheduleSwap(group int64, slot int) bool {
+	if !f.accept {
+		return false
+	}
+	f.swaps = append(f.swaps, key(group, slot))
+	// Mimic the controller: promoted slot becomes the M1 resident.
+	f.m1slot[group] = slot
+	return true
+}
+func (f *fakeCtx) SwapLatency() int64    { return 2548 }
+func (f *fakeCtx) ReadLatencyGap() int64 { return 396 }
+
+func access(group int64, slot, loc int, write bool) hybrid.AccessInfo {
+	return hybrid.AccessInfo{
+		Now: 0, Core: 0, Group: group, Slot: slot, Loc: loc, Write: write,
+		Entry: &hybrid.STCEntry{},
+	}
+}
+
+func TestCAMEOPromotesOnFirstM2Access(t *testing.T) {
+	p := NewCAMEO()
+	ctx := newFakeCtx()
+	p.OnAccess(access(3, 5, 5, false), ctx)
+	if len(ctx.swaps) != 1 || ctx.swaps[0] != key(3, 5) {
+		t.Errorf("swaps = %v", ctx.swaps)
+	}
+	// M1 accesses never swap.
+	p.OnAccess(access(3, 5, 0, false), ctx)
+	if len(ctx.swaps) != 1 {
+		t.Error("M1 access must not trigger a swap")
+	}
+	if p.Name() != "cameo" || p.WriteWeight() != 1 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestPoMCompetingCounterPromotion(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1 << 60 // no epoch boundary in this test
+	p := NewPoM(cfg)
+	p.threshold = 6
+	ctx := newFakeCtx()
+	// Five accesses to the same M2 block: no promotion yet (threshold 6).
+	for i := 0; i < 5; i++ {
+		p.OnAccess(access(1, 4, 4, false), ctx)
+	}
+	if len(ctx.swaps) != 0 {
+		t.Fatalf("premature promotion after 5 accesses (threshold 6)")
+	}
+	p.OnAccess(access(1, 4, 4, false), ctx)
+	if len(ctx.swaps) != 1 {
+		t.Fatalf("no promotion at threshold: %v", ctx.swaps)
+	}
+}
+
+func TestPoMCandidateCompetition(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1 << 60
+	p := NewPoM(cfg)
+	p.threshold = 48
+	ctx := newFakeCtx()
+	// Alternating blocks keep displacing each other: counter never grows.
+	for i := 0; i < 100; i++ {
+		p.OnAccess(access(1, 3, 3, false), ctx)
+		p.OnAccess(access(1, 4, 4, false), ctx)
+	}
+	if len(ctx.swaps) != 0 {
+		t.Errorf("alternating pattern should not promote (MEA-style): %v", ctx.swaps)
+	}
+}
+
+func TestPoMM1AccessDecays(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1 << 60
+	p := NewPoM(cfg)
+	p.threshold = 6
+	ctx := newFakeCtx()
+	// Interleave M1 hits with M2 accesses: decay postpones promotion.
+	for i := 0; i < 5; i++ {
+		p.OnAccess(access(1, 4, 4, false), ctx)
+		p.OnAccess(access(1, 0, 0, false), ctx) // M1 resident access
+	}
+	if len(ctx.swaps) != 0 {
+		t.Error("decayed counter should not have promoted")
+	}
+}
+
+func TestPoMWriteWeight(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1 << 60
+	p := NewPoM(cfg)
+	p.threshold = 6
+	ctx := newFakeCtx()
+	// One write counts as 8 accesses: immediate promotion at threshold 6.
+	p.OnAccess(access(1, 4, 4, true), ctx)
+	if len(ctx.swaps) != 1 {
+		t.Error("write weighted x8 should promote at threshold 6")
+	}
+	if p.WriteWeight() != 8 {
+		t.Errorf("WriteWeight = %d", p.WriteWeight())
+	}
+}
+
+func TestPoMEpochChoosesLowThresholdForHotBlocks(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1000
+	p := NewPoM(cfg)
+	ctx := newFakeCtx()
+	ctx.accept = false // observe threshold choice without remapping
+	// Hot M2 blocks with ~50 accesses each: benefit is maximised by T=1.
+	for i := 0; i < 1000; i++ {
+		p.OnAccess(access(int64(i%20), 4, 4, false), ctx)
+	}
+	if got := p.Threshold(); got != 1 {
+		t.Errorf("threshold = %d, want 1 for hot blocks", got)
+	}
+	if len(p.ThresholdHistory) == 0 {
+		t.Error("epoch should be recorded")
+	}
+}
+
+func TestPoMEpochProhibitsWhenColdBlocks(t *testing.T) {
+	cfg := DefaultPoMConfig()
+	cfg.EpochAccesses = 1000
+	p := NewPoM(cfg)
+	ctx := newFakeCtx()
+	ctx.accept = false
+	// Every M2 block touched at most twice: no threshold is profitable
+	// with K=8, so swaps must be prohibited.
+	for i := 0; i < 1000; i++ {
+		p.OnAccess(access(int64(i/2), 4, 4, false), ctx)
+	}
+	if got := p.Threshold(); got != 0 {
+		t.Errorf("threshold = %d, want 0 (prohibited)", got)
+	}
+	// While prohibited, even hot blocks must not swap.
+	ctx.accept = true
+	for i := 0; i < 100; i++ {
+		p.OnAccess(access(1, 4, 4, false), ctx)
+	}
+	if len(ctx.swaps) != 0 {
+		t.Error("prohibited epoch still swapped")
+	}
+}
+
+func TestPoMString(t *testing.T) {
+	if NewPoM(DefaultPoMConfig()).String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSILCFMPromotesAndLocks(t *testing.T) {
+	cfg := DefaultSILCFMConfig()
+	cfg.AgeAccesses = 1 << 60
+	p := NewSILCFM(cfg)
+	ctx := newFakeCtx()
+	// First M2 access promotes (threshold 1).
+	p.OnAccess(access(1, 4, 4, false), ctx)
+	if len(ctx.swaps) != 1 {
+		t.Fatal("SILC-FM should promote on first access")
+	}
+	// Make the M1 resident hot beyond the lock threshold.
+	for i := 0; i < 60; i++ {
+		p.OnAccess(access(1, 4, 0, false), ctx)
+	}
+	// A challenger cannot displace the locked block.
+	p.OnAccess(access(1, 5, 5, false), ctx)
+	if len(ctx.swaps) != 1 {
+		t.Error("locked M1 block was displaced")
+	}
+}
+
+func TestSILCFMAgingUnlocks(t *testing.T) {
+	cfg := DefaultSILCFMConfig()
+	cfg.AgeAccesses = 100
+	p := NewSILCFM(cfg)
+	ctx := newFakeCtx()
+	p.OnAccess(access(1, 4, 4, false), ctx)
+	for i := 0; i < 60; i++ {
+		p.OnAccess(access(1, 4, 0, false), ctx)
+	}
+	// Let aging halve the counter repeatedly via unrelated accesses.
+	for i := 0; i < 400; i++ {
+		p.OnAccess(access(2, 3, 0, false), ctx)
+	}
+	p.OnAccess(access(1, 5, 5, false), ctx)
+	if len(ctx.swaps) != 2 {
+		t.Errorf("aged-out lock should allow displacement: %v", ctx.swaps)
+	}
+}
+
+func TestMemPodMEATracksMajority(t *testing.T) {
+	cfg := DefaultMemPodConfig()
+	cfg.Counters = 4
+	p := NewMemPod(cfg)
+	ctx := newFakeCtx()
+	// Fill the MEA table.
+	for g := int64(0); g < 4; g++ {
+		p.OnAccess(access(g, 4, 4, false), ctx)
+	}
+	if len(p.mea) != 4 {
+		t.Fatalf("MEA size = %d", len(p.mea))
+	}
+	// A fifth block decrements all; singletons vanish.
+	p.OnAccess(access(9, 4, 4, false), ctx)
+	if len(p.mea) != 0 {
+		t.Errorf("MEA after decrement = %d entries", len(p.mea))
+	}
+	// Majority element survives repeated challenges.
+	for i := 0; i < 12; i++ {
+		p.OnAccess(access(1, 4, 4, false), ctx)
+	}
+	for g := int64(20); g < 24; g++ {
+		p.OnAccess(access(g, 4, 4, false), ctx)
+	}
+	if _, ok := p.mea[key(1, 4)]; !ok {
+		t.Error("majority element evicted from MEA")
+	}
+}
+
+func TestMemPodIntervalMigrations(t *testing.T) {
+	cfg := DefaultMemPodConfig()
+	cfg.IntervalCycles = 1000
+	cfg.MaxMigrations = 2
+	p := NewMemPod(cfg)
+	ctx := newFakeCtx()
+	// Track three blocks with distinct heats inside the first interval.
+	in := func(now int64, g int64, n int) {
+		for i := 0; i < n; i++ {
+			info := access(g, 4, 4, false)
+			info.Now = now
+			p.OnAccess(info, ctx)
+		}
+	}
+	in(1, 1, 5)
+	in(2, 2, 3)
+	in(3, 3, 1)
+	// Cross the interval boundary: top-2 hottest migrate.
+	info := access(7, 4, 4, false)
+	info.Now = 5000
+	p.OnAccess(info, ctx)
+	if len(ctx.swaps) != 2 {
+		t.Fatalf("migrations = %d, want cap 2", len(ctx.swaps))
+	}
+	if ctx.swaps[0] != key(1, 4) || ctx.swaps[1] != key(2, 4) {
+		t.Errorf("hottest-first order violated: %v", ctx.swaps)
+	}
+	if p.Migrations != 2 {
+		t.Errorf("Migrations = %d", p.Migrations)
+	}
+}
+
+func TestMemPodIgnoresM1Accesses(t *testing.T) {
+	p := NewMemPod(DefaultMemPodConfig())
+	ctx := newFakeCtx()
+	for i := 0; i < 10; i++ {
+		p.OnAccess(access(1, 0, 0, false), ctx)
+	}
+	if len(p.mea) != 0 {
+		t.Error("M1 accesses must not enter the MEA table")
+	}
+	if p.WriteWeight() != 1 {
+		t.Error("MemPod counts writes as one access")
+	}
+}
+
+func TestNoMigrationNeverSwaps(t *testing.T) {
+	p := hybrid.NoMigration{}
+	ctx := newFakeCtx()
+	for i := 0; i < 100; i++ {
+		p.OnAccess(access(int64(i), 4, 4, i%2 == 0), ctx)
+	}
+	if len(ctx.swaps) != 0 {
+		t.Error("static policy swapped")
+	}
+}

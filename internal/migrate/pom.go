@@ -1,0 +1,198 @@
+// Package migrate implements the published migration algorithms that the
+// paper compares against (Table 2): PoM — the paper's baseline and the
+// state of the art it beats — plus CAMEO, SILC-FM and MemPod. All plug
+// into the hybrid.Policy interface, so any of them can drive the same
+// flat migrating organization, exactly as §2.3 argues migration algorithms
+// and address-mapping organizations are orthogonal.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"profess/internal/hybrid"
+)
+
+// PoMThresholds are PoM's candidate global thresholds (Table 2).
+var PoMThresholds = []uint32{1, 6, 18, 48}
+
+// PoMConfig parameterises the PoM algorithm.
+type PoMConfig struct {
+	// K is the cost ratio: a swap costs as much as K M2-M1 read-latency
+	// gaps (§4.1 derives K = ceil(796.25/123.75) = 7 and, like the PoM
+	// authors, uses the slightly larger 8).
+	K uint32
+	// EpochAccesses is the epoch length in demand accesses after which the
+	// global threshold is re-chosen from PoMThresholds (or swaps are
+	// prohibited when no threshold shows positive estimated benefit).
+	EpochAccesses int64
+	// WriteWeight counts each write as this many accesses (§4.1: 8 in this
+	// system, because of M2's asymmetric write latency).
+	WriteWeight int
+}
+
+// DefaultPoMConfig returns the configuration used throughout the paper.
+func DefaultPoMConfig() PoMConfig {
+	return PoMConfig{K: 8, EpochAccesses: 100_000, WriteWeight: 8}
+}
+
+// PoM implements Sim et al.'s "Transparent Hardware Management of Stacked
+// DRAM as Part of Memory" (MICRO 2014) migration algorithm as the paper
+// configures it: per-group competing counters with a single global
+// adaptive threshold.
+//
+// Per swap group, a counter tracks the currently "winning" M2 candidate
+// (majority-element style): an access to the candidate increments it, an
+// access to a different M2 block decrements it (replacing the candidate on
+// zero), and an access to the group's M1 block decays it. When the counter
+// reaches the global threshold the candidate is promoted.
+//
+// The global threshold adapts per epoch: the algorithm tallies per-block
+// M2 access counts during the epoch and estimates, for each candidate
+// threshold T, the benefit
+//
+//	benefit(T) = sum over blocks with count c >= T of (c-T) - K * swaps(T)
+//
+// measured in read-latency-gap units; the best-positive threshold wins and
+// swaps are prohibited for an epoch when none is positive (Table 2).
+type PoM struct {
+	hybrid.BasePolicy
+	cfg PoMConfig
+
+	threshold  uint32
+	prohibited bool
+
+	groups map[int64]*pomGroup
+	// epoch statistics: M2 accesses per (group, slot)
+	epochCounts   map[int64]uint32
+	epochAccesses int64
+
+	// ThresholdHistory records the threshold chosen at each epoch
+	// boundary (0 = prohibited), for tests and reporting.
+	ThresholdHistory []uint32
+}
+
+type pomGroup struct {
+	candidate int8 // slot of the current M2 candidate, -1 none
+	counter   uint32
+}
+
+// NewPoM builds the policy.
+func NewPoM(cfg PoMConfig) *PoM {
+	if cfg.K == 0 {
+		cfg.K = 8
+	}
+	if cfg.EpochAccesses <= 0 {
+		cfg.EpochAccesses = 100_000
+	}
+	if cfg.WriteWeight <= 0 {
+		cfg.WriteWeight = 1
+	}
+	return &PoM{
+		cfg:         cfg,
+		threshold:   cfg.K, // start near the cost-balanced point
+		groups:      make(map[int64]*pomGroup),
+		epochCounts: make(map[int64]uint32),
+	}
+}
+
+// Name implements hybrid.Policy.
+func (p *PoM) Name() string { return "pom" }
+
+// WriteWeight implements hybrid.Policy.
+func (p *PoM) WriteWeight() int { return p.cfg.WriteWeight }
+
+// Threshold returns the currently active global threshold (0 when swaps
+// are prohibited).
+func (p *PoM) Threshold() uint32 {
+	if p.prohibited {
+		return 0
+	}
+	return p.threshold
+}
+
+func key(group int64, slot int) int64 { return group*hybrid.MaxSlots + int64(slot) }
+
+// OnAccess implements hybrid.Policy.
+func (p *PoM) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	weight := uint32(1)
+	if info.Write {
+		weight = uint32(p.cfg.WriteWeight)
+	}
+	p.epochAccesses += int64(weight)
+
+	g := p.groups[info.Group]
+	if g == nil {
+		g = &pomGroup{candidate: -1}
+		p.groups[info.Group] = g
+	}
+	if info.Loc == 0 {
+		// Access to the M1 resident decays the challenger.
+		if g.counter > 0 {
+			g.counter--
+		}
+	} else {
+		p.epochCounts[key(info.Group, info.Slot)] += weight
+		if g.candidate == int8(info.Slot) {
+			g.counter += weight
+		} else if g.counter <= weight {
+			g.candidate = int8(info.Slot)
+			g.counter = weight
+		} else {
+			g.counter -= weight
+		}
+		if !p.prohibited && g.candidate == int8(info.Slot) && g.counter >= p.threshold {
+			if ctl.ScheduleSwap(info.Group, info.Slot) {
+				g.candidate = -1
+				g.counter = 0
+			}
+		}
+	}
+	if p.epochAccesses >= p.cfg.EpochAccesses {
+		p.endEpoch()
+	}
+}
+
+// endEpoch re-chooses the global threshold from the epoch's M2 access
+// histogram.
+func (p *PoM) endEpoch() {
+	counts := make([]uint32, 0, len(p.epochCounts))
+	for _, c := range p.epochCounts {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+
+	bestT := uint32(0)
+	bestBenefit := int64(0)
+	for _, t := range PoMThresholds {
+		var benefit int64
+		// Blocks with c >= t would have been promoted after t accesses,
+		// saving (c - t) M2 accesses at one latency-gap each, costing K
+		// gap-units per swap.
+		i := sort.Search(len(counts), func(i int) bool { return counts[i] >= t })
+		for _, c := range counts[i:] {
+			benefit += int64(c - t)
+		}
+		benefit -= int64(len(counts)-i) * int64(p.cfg.K)
+		if benefit > bestBenefit {
+			bestBenefit = benefit
+			bestT = t
+		}
+	}
+	if bestT == 0 {
+		p.prohibited = true
+	} else {
+		p.prohibited = false
+		p.threshold = bestT
+	}
+	p.ThresholdHistory = append(p.ThresholdHistory, p.Threshold())
+	p.epochCounts = make(map[int64]uint32)
+	p.epochAccesses = 0
+}
+
+// String describes the policy configuration.
+func (p *PoM) String() string {
+	return fmt.Sprintf("PoM{K=%d epoch=%d writeWeight=%d}", p.cfg.K, p.cfg.EpochAccesses, p.cfg.WriteWeight)
+}
+
+var _ hybrid.Policy = (*PoM)(nil)

@@ -1,0 +1,147 @@
+// Package sim assembles the full simulated system of Table 8 — cores,
+// shared L3, hybrid memory controller, channels — and runs single- and
+// multi-program experiments, producing the paper's figures of merit.
+package sim
+
+import (
+	"fmt"
+
+	"profess/internal/cpu"
+	"profess/internal/energy"
+)
+
+// Config describes one simulated system. All capacities are bytes.
+type Config struct {
+	Cores    int
+	Channels int
+	// M1Capacity is the total M1 block area across channels; M2 capacity
+	// follows from M2Slots (the 1:8 ratio of §2.2 by default).
+	M1Capacity int64
+	M2Slots    int
+	Regions    int
+
+	L3Capacity   int64
+	L3Ways       int
+	L3HitLatency int64
+
+	// STCEntries is the total Swap-group Table Cache capacity in entries
+	// (8 B each); STCWays its associativity (Table 8: 8).
+	STCEntries int
+	STCWays    int
+
+	CoreCfg cpu.Config
+	// Instructions is the per-run instruction budget per program.
+	Instructions int64
+	// MaxCycles is a safety stop (0 = no limit).
+	MaxCycles int64
+
+	ModelSTTraffic bool
+	Seed           uint64
+	// Scale records the capacity scale relative to the paper's system
+	// (1.0 = Table 8); policy defaults (e.g. RSM's M_samp) derive from it.
+	Scale float64
+
+	// M2TWRFactor scales M2's write-recovery latency for the §5.2
+	// sensitivity study (1.0 = Table 8's t_WR_M2 = 275 ns).
+	M2TWRFactor float64
+
+	Energy energy.Model
+}
+
+// WithM1Ratio derives a configuration with a different M1:M2 capacity
+// ratio (1:n) while keeping the M2 capacity fixed, matching the §5.2/§5.4
+// sensitivity methodology: at 1:4 M1 doubles, at 1:16 it halves.
+func (c Config) WithM1Ratio(n int) Config {
+	if n <= 0 {
+		return c
+	}
+	m2 := c.M1Capacity * int64(c.M2Slots)
+	c.M2Slots = n
+	c.M1Capacity = scaleBytes(m2/int64(n), 1, int64(c.Channels)*2048)
+	return c
+}
+
+// PaperScale is the default capacity scale of this reproduction: 1/32 of
+// Table 8, preserving every ratio that drives the results (see DESIGN.md).
+const PaperScale = 1.0 / 32
+
+// MultiCoreConfig returns the quad-core evaluation system of Table 8 at
+// the given scale: 4 cores, 2 channels, 256 MB M1 / 2 GB M2, 8 MB L3,
+// 64-KB STC (8K entries), 500M instructions per program.
+func MultiCoreConfig(scale float64) Config {
+	return Config{
+		Cores:          4,
+		Channels:       2,
+		M1Capacity:     scaleBytes(256<<20, scale, 2*2048),
+		M2Slots:        8,
+		Regions:        128,
+		L3Capacity:     scaleBytes(8<<20, scale, 16*64),
+		L3Ways:         16,
+		L3HitLatency:   20,
+		STCEntries:     scaleCount(8192, scale, 2*8),
+		STCWays:        8,
+		CoreCfg:        cpu.DefaultConfig(),
+		Instructions:   int64(500e6 * scale),
+		ModelSTTraffic: true,
+		Seed:           1,
+		Scale:          scale,
+		Energy:         energy.Default(),
+	}
+}
+
+// SingleCoreConfig returns the single-core system of §4.1 at the given
+// scale: one channel and capacities of L3, STC, M1 and M2 scaled to a
+// quarter of the quad-core system (64 MB M1, 2 MB L3, 32-KB STC).
+func SingleCoreConfig(scale float64) Config {
+	c := MultiCoreConfig(scale)
+	c.Cores = 1
+	c.Channels = 1
+	c.M1Capacity = scaleBytes(64<<20, scale, 2048)
+	c.L3Capacity = scaleBytes(2<<20, scale, 16*64)
+	c.STCEntries = scaleCount(4096, scale, 8)
+	return c
+}
+
+// scaleBytes scales a capacity, rounding up to a multiple of quantum.
+func scaleBytes(base int64, scale float64, quantum int64) int64 {
+	v := int64(float64(base) * scale)
+	if v < quantum {
+		v = quantum
+	}
+	if r := v % quantum; r != 0 {
+		v += quantum - r
+	}
+	return v
+}
+
+// scaleCount scales an entry count, rounding up to a multiple of quantum.
+func scaleCount(base int, scale float64, quantum int) int {
+	v := int(float64(base) * scale)
+	if v < quantum {
+		v = quantum
+	}
+	if r := v % quantum; r != 0 {
+		v += quantum - r
+	}
+	return v
+}
+
+// Validate sanity-checks a configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: need at least one core")
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("sim: need at least one channel")
+	}
+	if c.Instructions <= 0 {
+		return fmt.Errorf("sim: need a positive instruction budget")
+	}
+	if c.M2Slots <= 0 {
+		return fmt.Errorf("sim: need at least one M2 slot per group")
+	}
+	if c.Regions <= c.Cores {
+		return fmt.Errorf("sim: %d regions cannot host %d private regions plus shared ones", c.Regions, c.Cores)
+	}
+	return nil
+}

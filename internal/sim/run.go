@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+
+	"profess/internal/cache"
+	"profess/internal/cpu"
+	"profess/internal/event"
+	"profess/internal/hybrid"
+	"profess/internal/mem"
+	"profess/internal/trace"
+	"profess/internal/workload"
+)
+
+// ProgramSpec names one program instance to run. Threads > 1 runs a
+// multi-threaded program: the threads share one OS address space (one
+// page table, one footprint) and appear to the management hardware — RSM
+// counters, MDM statistics, private region — as a single program, exactly
+// as §3.1.1 prescribes. Each thread drives its own reference stream
+// (seeded per thread); data sharing between threads is not modelled, which
+// the paper also leaves to future work.
+type ProgramSpec struct {
+	Name    string
+	Params  trace.Params
+	Threads int // 0 or 1 = single-threaded
+	// Source, when non-nil, replaces the synthetic generator — e.g. a
+	// trace.Replayer loaded from a capture (see cmd/professtrace). Only
+	// single-threaded specs may carry a Source, since threads need
+	// independent streams.
+	Source trace.Source
+}
+
+// threads returns the effective thread count.
+func (s ProgramSpec) threads() int {
+	if s.Threads <= 1 {
+		return 1
+	}
+	return s.Threads
+}
+
+// SpecsForWorkload builds the four program specs of a Table 10 mix at the
+// given capacity scale.
+func SpecsForWorkload(w workload.Workload, scale float64) ([]ProgramSpec, error) {
+	specs := make([]ProgramSpec, len(w.Programs))
+	seen := map[string]int{}
+	for i, name := range w.Programs {
+		prog, err := workload.ProgramByName(name)
+		if err != nil {
+			return nil, err
+		}
+		inst := seen[name]
+		seen[name] = inst + 1
+		specs[i] = ProgramSpec{Name: name, Params: prog.Params(scale, workload.Seed(name, inst))}
+	}
+	return specs, nil
+}
+
+// SpecForProgram builds a single program spec at the given scale.
+func SpecForProgram(name string, scale float64) (ProgramSpec, error) {
+	prog, err := workload.ProgramByName(name)
+	if err != nil {
+		return ProgramSpec{}, err
+	}
+	return ProgramSpec{Name: name, Params: prog.Params(scale, workload.Seed(name, 0))}, nil
+}
+
+// CoreResult is the per-program outcome of a run.
+type CoreResult struct {
+	Program      string
+	Instructions int64
+	// IPC is throughput over the whole run, including the repeats that
+	// keep competition alive after the program's first completion.
+	IPC float64
+	// FirstIPC is the instruction budget over the first-completion time —
+	// the quantity slowdowns are computed from: with the same budget in
+	// the stand-alone run, cold-start effects cancel in the ratio.
+	FirstIPC   float64
+	Served     int64
+	M1Fraction float64
+	AvgReadLat float64
+	// ReadLatP50/P95/P99 are approximate read-latency quantiles (cycles).
+	ReadLatP50     float64
+	ReadLatP95     float64
+	ReadLatP99     float64
+	STCHitRate     float64
+	Swaps          int64
+	L3MPKI         float64
+	Repeats        int64
+	FirstRunCycles int64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Scheme     string
+	Cycles     int64
+	PerCore    []CoreResult
+	Counts     mem.EventCounts
+	EnergyEff  float64 // requests per second per watt
+	Watts      float64
+	STCHitRate float64
+	STReads    int64
+	STWrites   int64
+	// SwapFraction is swaps among all served demand requests.
+	SwapFraction float64
+	L3HitRate    float64
+	TimedOut     bool
+}
+
+// IPCs returns the per-core IPC vector.
+func (r *Result) IPCs() []float64 {
+	out := make([]float64, len(r.PerCore))
+	for i, c := range r.PerCore {
+		out[i] = c.IPC
+	}
+	return out
+}
+
+// l3Frontend adapts the shared L3 + memory controller to the cpu.Memory
+// interface. L3 hits complete after the L3 latency; misses allocate
+// (write-allocate) and fetch the line from the hybrid memory; dirty
+// victims are written back asynchronously.
+type l3Frontend struct {
+	l3     *cache.Cache
+	hitLat int64
+	ctl    *hybrid.Controller
+	sched  event.Scheduler
+
+	perCoreHits   []int64
+	perCoreMisses []int64
+}
+
+// Access implements cpu.Memory.
+func (f *l3Frontend) Access(coreID int, addr int64, write bool, onDone func(now int64)) {
+	hit, ev, evicted := f.l3.Access(addr, write)
+	if evicted && ev.Dirty {
+		// Posted writeback: the core does not wait for it.
+		f.ctl.Submit(coreID, ev.Addr, true, nil)
+	}
+	if hit {
+		f.perCoreHits[coreID]++
+		f.sched.After(f.hitLat, onDone)
+		return
+	}
+	f.perCoreMisses[coreID]++
+	f.ctl.Submit(coreID, addr, false, func(now, latency int64) { onDone(now) })
+}
+
+// System is a fully-wired simulated machine, exposed so examples and tests
+// can drive it directly; Run wraps the common whole-workload flow.
+type System struct {
+	Cfg    Config
+	Queue  *event.Queue
+	Ctl    *hybrid.Controller
+	Alloc  *hybrid.Allocator
+	L3     *cache.Cache
+	Cores  []*cpu.Core
+	Front  *l3Frontend
+	Policy hybrid.Policy
+	specs  []ProgramSpec
+	// coreProg maps a hardware core (thread) to its program index; all
+	// threads of one program share counters, regions and statistics.
+	coreProg []int
+}
+
+// NewSystem builds the machine for the given programs and policy.
+func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	totalThreads := 0
+	for _, s := range specs {
+		totalThreads += s.threads()
+	}
+	if len(specs) == 0 || totalThreads > cfg.Cores {
+		return nil, fmt.Errorf("sim: %d threads do not fit %d cores", totalThreads, cfg.Cores)
+	}
+	q := &event.Queue{}
+
+	layout, err := hybrid.NewLayout(cfg.M1Capacity, cfg.Channels, cfg.Regions, cfg.M2Slots)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := hybrid.NewAllocator(layout, len(specs), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	chans := make([]*mem.Channel, cfg.Channels)
+	m1Per := cfg.M1Capacity / int64(cfg.Channels)
+	for i := range chans {
+		chCfg := mem.DefaultChannelConfig(m1Per+layout.STBytesPerChannel(), m1Per*int64(cfg.M2Slots))
+		chCfg.BlockBytes = layout.BlockBytes
+		if cfg.M2TWRFactor > 0 && cfg.M2TWRFactor != 1 {
+			chCfg.M2Timing.TWR = int64(float64(chCfg.M2Timing.TWR) * cfg.M2TWRFactor)
+		}
+		chans[i] = mem.NewChannel(chCfg, q)
+	}
+
+	ctl, err := hybrid.NewController(hybrid.ControllerConfig{
+		Layout:         layout,
+		STCEntries:     cfg.STCEntries,
+		STCWays:        cfg.STCWays,
+		NumCores:       len(specs),
+		ModelSTTraffic: cfg.ModelSTTraffic,
+	}, chans, alloc, policy, q)
+	if err != nil {
+		return nil, err
+	}
+
+	l3 := cache.New(cache.ConfigForCapacity(cfg.L3Capacity, cfg.L3Ways))
+	front := &l3Frontend{
+		l3: l3, hitLat: cfg.L3HitLatency, ctl: ctl, sched: q,
+		perCoreHits:   make([]int64, len(specs)),
+		perCoreMisses: make([]int64, len(specs)),
+	}
+
+	sys := &System{Cfg: cfg, Queue: q, Ctl: ctl, Alloc: alloc, L3: l3, Front: front, Policy: policy, specs: specs}
+	for i, spec := range specs {
+		if spec.Source != nil {
+			if spec.threads() > 1 {
+				return nil, fmt.Errorf("sim: %s: a replay Source cannot drive multiple threads", spec.Name)
+			}
+			spec.Params.Footprint = spec.Source.Footprint()
+		}
+		// One address space per program, shared by its threads.
+		vpages := spec.Params.Footprint / layout.PageBytes
+		vmap, err := alloc.Alloc(i, vpages)
+		if err != nil {
+			return nil, err
+		}
+		for th := 0; th < spec.threads(); th++ {
+			var gen trace.Source
+			if spec.Source != nil {
+				gen = spec.Source
+			} else {
+				params := spec.Params
+				if th > 0 {
+					params.Seed = spec.Params.Seed ^ (uint64(th) * 0xA24BAED4963EE407)
+				}
+				g, err := trace.NewGenerator(params)
+				if err != nil {
+					return nil, err
+				}
+				gen = g
+			}
+			// The cpu core carries the PROGRAM index: every downstream
+			// counter (controller stats, RSM, MDM, L3 attribution) sees
+			// the threads as one program (§3.1.1).
+			c, err := cpu.New(i, cfg.CoreCfg, gen, vmap, layout.PageBytes, cfg.Instructions, front, q)
+			if err != nil {
+				return nil, err
+			}
+			sys.Cores = append(sys.Cores, c)
+			sys.coreProg = append(sys.coreProg, i)
+		}
+	}
+	return sys, nil
+}
+
+// Run executes until every program completed its first run (repeating
+// faster programs to keep competition alive, per §4.2), then gathers the
+// results.
+func (s *System) Run() (*Result, error) {
+	threadsLeft := make([]int, len(s.specs))
+	for _, p := range s.coreProg {
+		threadsLeft[p]++
+	}
+	remaining := len(s.specs)
+	for ci, c := range s.Cores {
+		p := s.coreProg[ci]
+		c.Start(func(now int64) {
+			threadsLeft[p]--
+			if threadsLeft[p] == 0 {
+				remaining--
+			}
+		})
+	}
+	timedOut := false
+	s.Queue.RunUntil(func() bool {
+		if remaining <= 0 {
+			return true
+		}
+		if s.Cfg.MaxCycles > 0 && s.Queue.Now() >= s.Cfg.MaxCycles {
+			timedOut = true
+			return true
+		}
+		return false
+	})
+	for _, c := range s.Cores {
+		c.Stop()
+	}
+	s.Ctl.FlushSTCs()
+
+	cycles := s.Queue.Now()
+	if cycles == 0 {
+		return nil, fmt.Errorf("sim: simulation made no progress")
+	}
+	res := &Result{
+		Scheme:   s.Policy.Name(),
+		Cycles:   cycles,
+		TimedOut: timedOut,
+		Counts:   s.Ctl.Counts(),
+		STReads:  s.Ctl.STReads,
+		STWrites: s.Ctl.STWrites,
+	}
+	res.STCHitRate = s.Ctl.STCHitRate()
+	res.L3HitRate = s.L3.HitRate()
+	if demand := res.Counts.DemandAccesses(); demand > 0 {
+		res.SwapFraction = float64(res.Counts.Swaps) / float64(demand)
+	}
+	rep := s.Cfg.Energy.Evaluate(res.Counts, cycles, s.Cfg.Channels)
+	res.EnergyEff = rep.Efficiency()
+	res.Watts = rep.Watts()
+
+	for i, spec := range s.specs {
+		// Aggregate the program's threads (§3.1.1: they are one program).
+		var instr, firstMax, repeats int64
+		repeats = -1
+		for ci, c := range s.Cores {
+			if s.coreProg[ci] != i {
+				continue
+			}
+			instr += c.Instructions()
+			if c.FirstRunCycles > firstMax {
+				firstMax = c.FirstRunCycles
+			}
+			if repeats < 0 || c.Repeats < repeats {
+				repeats = c.Repeats
+			}
+		}
+		cs := s.Ctl.Cores[i]
+		cr := CoreResult{
+			Program:        spec.Name,
+			Instructions:   instr,
+			IPC:            float64(instr) / float64(cycles),
+			Served:         cs.Served,
+			M1Fraction:     cs.M1Fraction(),
+			AvgReadLat:     cs.AvgReadLatency(),
+			ReadLatP50:     s.Ctl.ReadLatencyQuantile(i, 0.50),
+			ReadLatP95:     s.Ctl.ReadLatencyQuantile(i, 0.95),
+			ReadLatP99:     s.Ctl.ReadLatencyQuantile(i, 0.99),
+			STCHitRate:     cs.STCHitRate(),
+			Swaps:          cs.Swaps,
+			Repeats:        repeats,
+			FirstRunCycles: firstMax,
+		}
+		if firstMax > 0 {
+			cr.FirstIPC = float64(s.Cfg.Instructions*int64(spec.threads())) / float64(firstMax)
+		} else {
+			cr.FirstIPC = cr.IPC // timed out before the first completion
+		}
+		if instr > 0 {
+			cr.L3MPKI = float64(s.Front.perCoreMisses[i]) / float64(instr) * 1000
+		}
+		res.PerCore = append(res.PerCore, cr)
+	}
+	return res, nil
+}
+
+// Run builds and runs a system in one call.
+func Run(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	policy, err := NewPolicy(scheme, len(specs), cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem(cfg, specs, policy)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

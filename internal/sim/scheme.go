@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+
+	"profess/internal/core"
+	"profess/internal/hybrid"
+	"profess/internal/migrate"
+)
+
+// Scheme names a migration policy.
+type Scheme string
+
+// The available schemes: the paper's baseline (PoM), its contribution in
+// both forms (MDM standalone, full ProFess), the remaining Table 2
+// algorithms, and the static no-migration reference.
+const (
+	SchemeStatic  Scheme = "static"
+	SchemePoM     Scheme = "pom"
+	SchemeCAMEO   Scheme = "cameo"
+	SchemeSILCFM  Scheme = "silc-fm"
+	SchemeMemPod  Scheme = "mempod"
+	SchemeMDM     Scheme = "mdm"
+	SchemeProFess Scheme = "profess"
+)
+
+// AllSchemes lists every scheme in presentation order.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeStatic, SchemeCAMEO, SchemeSILCFM, SchemeMemPod, SchemePoM, SchemeMDM, SchemeProFess}
+}
+
+// NewPolicy builds the policy for a scheme, sized for numPrograms programs
+// at the given capacity scale (which drives epoch/sampling durations).
+func NewPolicy(s Scheme, numPrograms int, scale float64) (hybrid.Policy, error) {
+	switch s {
+	case SchemeStatic:
+		return hybrid.NoMigration{}, nil
+	case SchemePoM:
+		cfg := migrate.DefaultPoMConfig()
+		cfg.EpochAccesses = scaleEpoch(cfg.EpochAccesses, scale)
+		return migrate.NewPoM(cfg), nil
+	case SchemeCAMEO:
+		return migrate.NewCAMEO(), nil
+	case SchemeSILCFM:
+		cfg := migrate.DefaultSILCFMConfig()
+		cfg.AgeAccesses = scaleEpoch(cfg.AgeAccesses, scale)
+		return migrate.NewSILCFM(cfg), nil
+	case SchemeMemPod:
+		return migrate.NewMemPod(migrate.DefaultMemPodConfig()), nil
+	case SchemeMDM:
+		return core.NewMDM(core.DefaultMDMConfig(numPrograms))
+	case SchemeProFess:
+		return core.NewProFess(core.DefaultProFessConfig(numPrograms, scale))
+	}
+	return nil, fmt.Errorf("sim: unknown scheme %q", s)
+}
+
+// scaleEpoch shrinks an access-count epoch with the capacity scale, with a
+// floor that keeps estimates meaningful.
+func scaleEpoch(base int64, scale float64) int64 {
+	v := int64(float64(base) * scale)
+	if v < 2048 {
+		v = 2048
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"profess/internal/workload"
+)
+
+// tinyConfig returns a fast configuration for unit tests: the 1/32-scale
+// system with a much smaller instruction budget.
+func tinyConfig(cores int) Config {
+	var cfg Config
+	if cores == 1 {
+		cfg = SingleCoreConfig(PaperScale)
+	} else {
+		cfg = MultiCoreConfig(PaperScale)
+	}
+	cfg.Instructions = 300_000
+	cfg.MaxCycles = 2_000_000_000
+	return cfg
+}
+
+func TestSmokeSingleProgram(t *testing.T) {
+	cfg := tinyConfig(1)
+	spec, err := SpecForProgram("lbm", PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemeStatic, SchemePoM, SchemeMDM} {
+		res, err := Run(cfg, []ProgramSpec{spec}, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.TimedOut {
+			t.Fatalf("%s: timed out at %d cycles", scheme, res.Cycles)
+		}
+		c := res.PerCore[0]
+		t.Logf("%s: cycles=%d ipc=%.3f m1frac=%.3f stcHit=%.3f swaps=%d mpki=%.1f readLat=%.0f l3hit=%.3f",
+			scheme, res.Cycles, c.IPC, c.M1Fraction, c.STCHitRate, c.Swaps, c.L3MPKI, c.AvgReadLat, res.L3HitRate)
+		if c.IPC <= 0 || c.IPC > 4 {
+			t.Errorf("%s: implausible IPC %f", scheme, c.IPC)
+		}
+	}
+}
+
+func TestSmokeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-program smoke is not short")
+	}
+	cfg := tinyConfig(4)
+	specs, err := SpecsForWorkload(workload.MustWorkload("w09"), PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{SchemePoM, SchemeProFess} {
+		res, err := Run(cfg, specs, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.TimedOut {
+			t.Fatalf("%s: timed out", scheme)
+		}
+		for _, c := range res.PerCore {
+			t.Logf("%s: %-10s ipc=%.3f m1frac=%.3f repeats=%d", scheme, c.Program, c.IPC, c.M1Fraction, c.Repeats)
+		}
+		t.Logf("%s: cycles=%d swapFrac=%.4f stcHit=%.3f energyEff=%.3g", scheme, res.Cycles, res.SwapFraction, res.STCHitRate, res.EnergyEff)
+	}
+}

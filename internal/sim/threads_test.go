@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// TestMultiThreadedProgram exercises §3.1.1's multi-threaded case: all
+// threads of a program share one address space and appear to RSM/MDM as a
+// single program.
+func TestMultiThreadedProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinyConfig(4)
+	cfg.Instructions = 100_000
+	spec, err := SpecForProgram("soplex", PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Threads = 2
+	other, err := SpecForProgram("lbm", PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, []ProgramSpec{spec, other}, SchemeProFess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 2 {
+		t.Fatalf("results per program = %d, want 2", len(res.PerCore))
+	}
+	mt := res.PerCore[0]
+	if mt.Program != "soplex" {
+		t.Fatalf("program order wrong: %+v", mt)
+	}
+	// Both threads retire the budget, so the program retires >= 2x.
+	if mt.Instructions < 2*cfg.Instructions {
+		t.Errorf("multi-threaded program retired %d, want >= %d", mt.Instructions, 2*cfg.Instructions)
+	}
+	if mt.Served == 0 {
+		t.Error("no memory traffic attributed to the multi-threaded program")
+	}
+}
+
+func TestThreadsOverflowRejected(t *testing.T) {
+	cfg := tinyConfig(4)
+	spec, _ := SpecForProgram("lbm", PaperScale)
+	spec.Threads = 5
+	if _, err := Run(cfg, []ProgramSpec{spec}, SchemePoM); err == nil {
+		t.Error("five threads on four cores should fail")
+	}
+}
+
+func TestThreadSeedsDiffer(t *testing.T) {
+	cfg := tinyConfig(4)
+	spec, _ := SpecForProgram("soplex", PaperScale)
+	spec.Threads = 3
+	policy, err := NewPolicy(SchemeStatic, 1, cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, []ProgramSpec{spec}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Cores) != 3 {
+		t.Fatalf("cores = %d, want 3 threads", len(sys.Cores))
+	}
+	for _, p := range sys.coreProg {
+		if p != 0 {
+			t.Error("all threads must map to program 0")
+		}
+	}
+}

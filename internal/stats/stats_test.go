@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); !almost(got, 4, 1e-12) {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); !almost(got, 1, 1e-12) {
+		t.Errorf("GeoMean(ones) = %v, want 1", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev(constant) = %v, want 0", got)
+	}
+	// Population std dev of {1,3} is 1.
+	if got := StdDev([]float64{1, 3}); !almost(got, 1, 1e-12) {
+		t.Errorf("StdDev(1,3) = %v, want 1", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated P50 = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoother(t *testing.T) {
+	s := NewSmoother(0.125)
+	if s.Primed() {
+		t.Error("new smoother should be unprimed")
+	}
+	if got := s.Add(8); got != 8 {
+		t.Errorf("first Add should prime to the observation, got %v", got)
+	}
+	got := s.Add(16)
+	want := 8 + 0.125*(16-8)
+	if !almost(got, want, 1e-12) {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	s.Reset()
+	if s.Primed() || s.Value() != 0 {
+		t.Error("Reset should unprime")
+	}
+}
+
+func TestSmootherConvergesProperty(t *testing.T) {
+	// Feeding a constant long enough converges to that constant.
+	f := func(x float64, n uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := NewSmoother(0.125)
+		for i := 0; i < int(n)+200; i++ {
+			s.Add(x)
+		}
+		return almost(s.Value(), x, math.Abs(x)*1e-9+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100} // 100 is an outlier
+	bp := NewBoxPlot(xs)
+	if bp.N != 9 {
+		t.Errorf("N = %d", bp.N)
+	}
+	if bp.Median != 5 {
+		t.Errorf("median = %v, want 5", bp.Median)
+	}
+	if len(bp.Outliers) != 1 || bp.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", bp.Outliers)
+	}
+	if bp.WhiskHigh > 8 || bp.WhiskLow < 1 {
+		t.Errorf("whiskers [%v,%v] out of range", bp.WhiskLow, bp.WhiskHigh)
+	}
+	if bp.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	bp := NewBoxPlot(nil)
+	if bp.N != 0 || len(bp.Outliers) != 0 {
+		t.Errorf("empty box plot: %+v", bp)
+	}
+}
+
+func TestBoxPlotOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		bp := NewBoxPlot(xs)
+		return bp.Q1 <= bp.Median && bp.Median <= bp.Q3 &&
+			bp.WhiskLow <= bp.WhiskHigh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4, 0, 10) // buckets [0,10) [10,20) [20,30) [30,40)
+	h.Add(-5)
+	h.Add(5)
+	h.Add(15)
+	h.Add(35)
+	h.Add(45)
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[3] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Count != 5 {
+		t.Errorf("count = %d", h.Count)
+	}
+	if !almost(h.Mean(), 19, 1e-12) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("a", "bb")
+	tb.AddRowf("x", 1.5)
+	tb.AddRow("yyyy", "z")
+	s := tb.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"a", "bb", "x", "1.500", "yyyy", "z", "--"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}

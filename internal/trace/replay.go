@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Source is a stream of references. Generator synthesises one; Replayer
+// replays one captured to a file. The core model accepts either, so
+// captured traces (or externally produced ones in the same format) can
+// drive the simulator exactly like the built-in generators.
+type Source interface {
+	// Next returns the next reference.
+	Next() Ref
+	// Reset restarts the stream from the beginning.
+	Reset()
+	// Footprint returns the byte footprint addressed by the stream.
+	Footprint() int64
+	// Params describes the stream (Name, GapMean and Footprint must be
+	// meaningful; pattern fields may be zero for replays).
+	Params() Params
+}
+
+var _ Source = (*Generator)(nil)
+
+// File format ("PFTR1"):
+//
+//	magic   [5]byte  "PFTR1"
+//	name    uvarint length + bytes
+//	footprint, gapMean, count  uvarint each
+//	records: per reference
+//	    uvarint line index (VAddr/64)
+//	    uvarint gap
+//	    flags byte (bit0 write, bit1 dep)
+const traceMagic = "PFTR1"
+
+// WriteTrace captures n references from src into w.
+func WriteTrace(w io.Writer, src Source, n int64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	p := src.Params()
+	if err := putUvarint(uint64(len(p.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(p.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(src.Footprint())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(p.GapMean)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(n)); err != nil {
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		r := src.Next()
+		if err := putUvarint(uint64(r.VAddr / 64)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(r.Gap)); err != nil {
+			return err
+		}
+		var flags byte
+		if r.Write {
+			flags |= 1
+		}
+		if r.Dep {
+			flags |= 2
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Replayer replays a captured trace, wrapping around at the end so it can
+// drive the repeat-until-slowest methodology like a Generator.
+type Replayer struct {
+	name      string
+	footprint int64
+	gapMean   int32
+	refs      []Ref
+	pos       int
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Replayer, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	fp, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	gap, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	rp := &Replayer{name: string(name), footprint: int64(fp), gapMean: int32(gap)}
+	rp.refs = make([]Ref, 0, count)
+	for i := uint64(0); i < count; i++ {
+		line, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		g, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rp.refs = append(rp.refs, Ref{
+			VAddr: int64(line) * 64,
+			Gap:   int32(g),
+			Write: flags&1 != 0,
+			Dep:   flags&2 != 0,
+		})
+	}
+	if len(rp.refs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return rp, nil
+}
+
+// Next implements Source, wrapping at the end of the capture.
+func (r *Replayer) Next() Ref {
+	ref := r.refs[r.pos]
+	r.pos++
+	if r.pos == len(r.refs) {
+		r.pos = 0
+	}
+	return ref
+}
+
+// Reset implements Source.
+func (r *Replayer) Reset() { r.pos = 0 }
+
+// Footprint implements Source.
+func (r *Replayer) Footprint() int64 { return r.footprint }
+
+// Params implements Source (pattern fields are zero for replays).
+func (r *Replayer) Params() Params {
+	return Params{Name: r.name, Footprint: r.footprint, GapMean: r.gapMean}
+}
+
+// Len returns the number of captured references.
+func (r *Replayer) Len() int { return len(r.refs) }
+
+var _ Source = (*Replayer)(nil)

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := baseParams(PointerChase)
+	gen := MustNewGenerator(p)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != n {
+		t.Fatalf("len = %d, want %d", rp.Len(), n)
+	}
+	if rp.Footprint() != p.Footprint {
+		t.Errorf("footprint = %d", rp.Footprint())
+	}
+	if rp.Params().Name != p.Name || rp.Params().GapMean != p.GapMean {
+		t.Errorf("params = %+v", rp.Params())
+	}
+	// The replay must equal the original stream.
+	gen.Reset()
+	for i := 0; i < n; i++ {
+		want, got := gen.Next(), rp.Next()
+		if want != got {
+			t.Fatalf("ref %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestReplayerWrapsAround(t *testing.T) {
+	gen := MustNewGenerator(baseParams(Stream))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 10); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rp.Next()
+	for i := 0; i < 9; i++ {
+		rp.Next()
+	}
+	if again := rp.Next(); again != first {
+		t.Error("replayer should wrap to the beginning")
+	}
+	rp.Reset()
+	if r := rp.Next(); r != first {
+		t.Error("Reset should restart the stream")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not a trace at all")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Truncated after the header.
+	gen := MustNewGenerator(baseParams(Stream))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace should fail")
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	gen := MustNewGenerator(baseParams(Stream))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Error("zero-record trace should be rejected")
+	}
+}

@@ -1,0 +1,201 @@
+// Package workload holds the experiment inputs of the ProFess paper: the
+// ten SPEC CPU2006 programs of Table 9 (as parameterisations of the
+// synthetic generators in internal/trace) and the nineteen four-program
+// mixes of Table 10.
+package workload
+
+import (
+	"fmt"
+
+	"profess/internal/trace"
+)
+
+// MB is one binary megabyte.
+const MB = 1 << 20
+
+// Program is one Table 9 entry plus the behavioural parameters that drive
+// its synthetic generator.
+type Program struct {
+	Name string
+	// PaperMPKI and PaperFootprintMB are the values reported in Table 9
+	// (L3 misses per kilo-instruction; footprint in MB).
+	PaperMPKI        float64
+	PaperFootprintMB float64
+
+	Pattern       trace.Pattern
+	WriteFrac     float64
+	Streams       int
+	HotFrac       float64
+	HotProb       float64
+	DepFrac       float64
+	LinesPerTouch int
+	RecentProb    float64
+	RecentWindow  int
+	// PhaseFrac expresses the phase length as a fraction of the program's
+	// reference count per million references (0 = static).
+	PhaseRefs int64
+}
+
+// catalog mirrors Table 9. The pattern classes follow the paper's own
+// description (§4.2: mcf, omnetpp, libquantum irregular pointer-based;
+// soplex mixed regular/irregular) and the well-known behaviour of the
+// remaining programs (lbm is a write-heavy stencil stream, milc strided
+// irregular, bwaves/GemsFDTD/leslie3d/zeusmp multi-stream stencils).
+var catalog = []Program{
+	{Name: "bwaves", PaperMPKI: 11, PaperFootprintMB: 265, Pattern: trace.Stream,
+		WriteFrac: 0.25, Streams: 8, LinesPerTouch: 1},
+	{Name: "GemsFDTD", PaperMPKI: 16, PaperFootprintMB: 499, Pattern: trace.Stream,
+		WriteFrac: 0.30, Streams: 12, LinesPerTouch: 1},
+	{Name: "lbm", PaperMPKI: 32, PaperFootprintMB: 402, Pattern: trace.Stream,
+		WriteFrac: 0.45, Streams: 16, LinesPerTouch: 1},
+	{Name: "leslie3d", PaperMPKI: 15, PaperFootprintMB: 76, Pattern: trace.Stream,
+		WriteFrac: 0.30, Streams: 6, LinesPerTouch: 1},
+	{Name: "libquantum", PaperMPKI: 30, PaperFootprintMB: 32, Pattern: trace.Stream,
+		WriteFrac: 0.25, Streams: 1, LinesPerTouch: 1},
+	{Name: "mcf", PaperMPKI: 60, PaperFootprintMB: 525, Pattern: trace.PointerChase,
+		WriteFrac: 0.20, HotFrac: 0.02, HotProb: 0.70, DepFrac: 0.80,
+		LinesPerTouch: 4, RecentProb: 0.5, RecentWindow: 16, PhaseRefs: 600_000},
+	{Name: "milc", PaperMPKI: 18, PaperFootprintMB: 547, Pattern: trace.Mixed,
+		WriteFrac: 0.30, Streams: 16, HotFrac: 0.05, HotProb: 0.35, DepFrac: 0.05,
+		LinesPerTouch: 4, PhaseRefs: 500_000},
+	{Name: "omnetpp", PaperMPKI: 19, PaperFootprintMB: 138, Pattern: trace.PointerChase,
+		WriteFrac: 0.30, HotFrac: 0.06, HotProb: 0.60, DepFrac: 0.70,
+		LinesPerTouch: 2, RecentProb: 0.45, RecentWindow: 64, PhaseRefs: 300_000},
+	{Name: "soplex", PaperMPKI: 29, PaperFootprintMB: 241, Pattern: trace.Mixed,
+		WriteFrac: 0.25, Streams: 4, HotFrac: 0.08, HotProb: 0.50, DepFrac: 0.30,
+		LinesPerTouch: 2, PhaseRefs: 400_000},
+	{Name: "zeusmp", PaperMPKI: 5, PaperFootprintMB: 112, Pattern: trace.Stream,
+		WriteFrac: 0.30, Streams: 8, LinesPerTouch: 1},
+}
+
+// Programs returns the Table 9 catalogue (copy).
+func Programs() []Program {
+	out := make([]Program, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// ProgramByName looks up a Table 9 program.
+func ProgramByName(name string) (Program, error) {
+	for _, p := range catalog {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("workload: unknown program %q", name)
+}
+
+// MustProgram is ProgramByName that panics on error.
+func MustProgram(name string) Program {
+	p, err := ProgramByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// gapFromMPKI converts a Table 9 L3 MPKI into the generator's mean
+// instruction gap between L2-miss references. The generator operates one
+// level above the simulated L3, which filters roughly a quarter of the
+// stream, so the gap is tightened accordingly.
+func gapFromMPKI(mpki float64) int32 {
+	g := 1000.0 / mpki * 0.75
+	if g < 2 {
+		g = 2
+	}
+	return int32(g + 0.5)
+}
+
+// Params builds the trace generator parameters for the program at the
+// given capacity scale (the paper runs 1:1; this reproduction defaults to
+// 1/32 of the paper's capacities everywhere). Seed disambiguates repeated
+// instances of the same program inside one workload.
+func (p Program) Params(scale float64, seed uint64) trace.Params {
+	fp := int64(p.PaperFootprintMB * MB * scale)
+	fp = (fp + 4095) &^ 4095 // page align
+	if fp < 64<<10 {
+		fp = 64 << 10
+	}
+	return trace.Params{
+		Name:          p.Name,
+		Footprint:     fp,
+		Pattern:       p.Pattern,
+		WriteFrac:     p.WriteFrac,
+		GapMean:       gapFromMPKI(p.PaperMPKI),
+		Streams:       p.Streams,
+		HotFrac:       p.HotFrac,
+		HotProb:       p.HotProb,
+		DepFrac:       p.DepFrac,
+		LinesPerTouch: p.LinesPerTouch,
+		RecentProb:    p.RecentProb,
+		RecentWindow:  p.RecentWindow,
+		PhaseRefs:     p.PhaseRefs,
+		Seed:          seed,
+	}
+}
+
+// Workload is one Table 10 mix: four (not necessarily distinct) programs.
+type Workload struct {
+	Name     string
+	Programs [4]string
+}
+
+// workloads mirrors Table 10 exactly.
+var workloads = []Workload{
+	{"w01", [4]string{"mcf", "libquantum", "leslie3d", "lbm"}},
+	{"w02", [4]string{"soplex", "GemsFDTD", "omnetpp", "zeusmp"}},
+	{"w03", [4]string{"milc", "bwaves", "lbm", "lbm"}},
+	{"w04", [4]string{"libquantum", "bwaves", "leslie3d", "omnetpp"}},
+	{"w05", [4]string{"mcf", "bwaves", "zeusmp", "GemsFDTD"}},
+	{"w06", [4]string{"soplex", "libquantum", "lbm", "omnetpp"}},
+	{"w07", [4]string{"milc", "GemsFDTD", "bwaves", "leslie3d"}},
+	{"w08", [4]string{"soplex", "leslie3d", "lbm", "zeusmp"}},
+	{"w09", [4]string{"mcf", "soplex", "lbm", "GemsFDTD"}},
+	{"w10", [4]string{"libquantum", "leslie3d", "omnetpp", "zeusmp"}},
+	{"w11", [4]string{"soplex", "bwaves", "lbm", "libquantum"}},
+	{"w12", [4]string{"milc", "GemsFDTD", "soplex", "lbm"}},
+	{"w13", [4]string{"mcf", "soplex", "bwaves", "zeusmp"}},
+	{"w14", [4]string{"GemsFDTD", "soplex", "omnetpp", "libquantum"}},
+	{"w15", [4]string{"leslie3d", "omnetpp", "lbm", "zeusmp"}},
+	{"w16", [4]string{"libquantum", "libquantum", "bwaves", "zeusmp"}},
+	{"w17", [4]string{"mcf", "mcf", "omnetpp", "leslie3d"}},
+	{"w18", [4]string{"mcf", "milc", "milc", "GemsFDTD"}},
+	{"w19", [4]string{"milc", "libquantum", "omnetpp", "leslie3d"}},
+}
+
+// Workloads returns the Table 10 mixes (copy).
+func Workloads() []Workload {
+	out := make([]Workload, len(workloads))
+	copy(out, workloads)
+	return out
+}
+
+// WorkloadByName looks up a Table 10 workload.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range workloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// MustWorkload is WorkloadByName that panics on error.
+func MustWorkload(name string) Workload {
+	w, err := WorkloadByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Seed derives a deterministic generator seed for program instance i of a
+// named run, so repeated program names inside one workload differ while
+// runs remain reproducible.
+func Seed(program string, instance int) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, b := range []byte(program) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h ^ (uint64(instance+1) * 0x9E3779B97F4A7C15)
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"profess/internal/trace"
+)
+
+// table9 is the ground truth from the paper.
+var table9 = map[string]struct {
+	mpki float64
+	mb   float64
+}{
+	"bwaves": {11, 265}, "GemsFDTD": {16, 499}, "lbm": {32, 402},
+	"leslie3d": {15, 76}, "libquantum": {30, 32}, "mcf": {60, 525},
+	"milc": {18, 547}, "omnetpp": {19, 138}, "soplex": {29, 241},
+	"zeusmp": {5, 112},
+}
+
+func TestCatalogMatchesTable9(t *testing.T) {
+	progs := Programs()
+	if len(progs) != len(table9) {
+		t.Fatalf("%d programs, want %d", len(progs), len(table9))
+	}
+	for _, p := range progs {
+		want, ok := table9[p.Name]
+		if !ok {
+			t.Errorf("unexpected program %q", p.Name)
+			continue
+		}
+		if p.PaperMPKI != want.mpki || p.PaperFootprintMB != want.mb {
+			t.Errorf("%s: MPKI/MB = %v/%v, want %v/%v",
+				p.Name, p.PaperMPKI, p.PaperFootprintMB, want.mpki, want.mb)
+		}
+	}
+}
+
+func TestIrregularProgramsClassified(t *testing.T) {
+	// §4.2: mcf, omnetpp and libquantum use irregular pointer-based
+	// structures; soplex is mixed. (libquantum's sweep is sequential in
+	// address terms, so it is modelled as a stream.)
+	if MustProgram("mcf").Pattern != trace.PointerChase {
+		t.Error("mcf should pointer-chase")
+	}
+	if MustProgram("omnetpp").Pattern != trace.PointerChase {
+		t.Error("omnetpp should pointer-chase")
+	}
+	if MustProgram("soplex").Pattern != trace.Mixed {
+		t.Error("soplex should be mixed")
+	}
+	if MustProgram("lbm").WriteFrac < 0.4 {
+		t.Error("lbm should be write-heavy")
+	}
+}
+
+func TestWorkloadsMatchTable10(t *testing.T) {
+	wls := Workloads()
+	if len(wls) != 19 {
+		t.Fatalf("%d workloads, want 19", len(wls))
+	}
+	// Spot-check the mixes quoted in the paper's discussion.
+	spot := map[string][4]string{
+		"w09": {"mcf", "soplex", "lbm", "GemsFDTD"},
+		"w16": {"libquantum", "libquantum", "bwaves", "zeusmp"},
+		"w19": {"milc", "libquantum", "omnetpp", "leslie3d"},
+		"w03": {"milc", "bwaves", "lbm", "lbm"},
+	}
+	for name, want := range spot {
+		w := MustWorkload(name)
+		if w.Programs != want {
+			t.Errorf("%s = %v, want %v", name, w.Programs, want)
+		}
+	}
+	// Every program named in a workload exists in Table 9.
+	for _, w := range wls {
+		for _, p := range w.Programs {
+			if _, err := ProgramByName(p); err != nil {
+				t.Errorf("%s references unknown program %s", w.Name, p)
+			}
+		}
+	}
+}
+
+func TestUnknownLookupsError(t *testing.T) {
+	if _, err := ProgramByName("nosuch"); err == nil {
+		t.Error("expected error for unknown program")
+	}
+	if _, err := WorkloadByName("w99"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := MustProgram("mcf")
+	full := p.Params(1, 1)
+	scaled := p.Params(1.0/32, 1)
+	if full.Footprint != int64(525)<<20 {
+		t.Errorf("full footprint = %d", full.Footprint)
+	}
+	ratio := float64(full.Footprint) / float64(scaled.Footprint)
+	if ratio < 31 || ratio > 33 {
+		t.Errorf("scaling ratio %v, want ~32", ratio)
+	}
+	if scaled.Footprint%4096 != 0 {
+		t.Error("footprint must be page aligned")
+	}
+	// Behavioural parameters survive scaling.
+	if scaled.Pattern != full.Pattern || scaled.WriteFrac != full.WriteFrac || scaled.GapMean != full.GapMean {
+		t.Error("scaling must not change behaviour parameters")
+	}
+}
+
+func TestGapFromMPKI(t *testing.T) {
+	// Higher MPKI means denser misses (smaller gap).
+	mcf := MustProgram("mcf").Params(1, 1).GapMean
+	zeusmp := MustProgram("zeusmp").Params(1, 1).GapMean
+	if mcf >= zeusmp {
+		t.Errorf("mcf gap %d should be smaller than zeusmp gap %d", mcf, zeusmp)
+	}
+	if mcf < 2 {
+		t.Errorf("gap floor violated: %d", mcf)
+	}
+}
+
+func TestSeedsDistinguishInstances(t *testing.T) {
+	if Seed("mcf", 0) == Seed("mcf", 1) {
+		t.Error("instances of the same program must differ")
+	}
+	if Seed("mcf", 0) == Seed("milc", 0) {
+		t.Error("different programs must differ")
+	}
+	if Seed("mcf", 0) != Seed("mcf", 0) {
+		t.Error("seeds must be deterministic")
+	}
+}
+
+func TestFootprintFloor(t *testing.T) {
+	p := MustProgram("libquantum")
+	tiny := p.Params(1e-6, 1)
+	if tiny.Footprint < 64<<10 {
+		t.Errorf("footprint floor violated: %d", tiny.Footprint)
+	}
+}
+
+func TestProgramsReturnsCopy(t *testing.T) {
+	a := Programs()
+	a[0].Name = "mutated"
+	if Programs()[0].Name == "mutated" {
+		t.Error("Programs must return a copy")
+	}
+	w := Workloads()
+	w[0].Name = "mutated"
+	if Workloads()[0].Name == "mutated" {
+		t.Error("Workloads must return a copy")
+	}
+}

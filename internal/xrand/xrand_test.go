@@ -1,0 +1,152 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed stuck at zero")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if m := sum / n; m < 0.49 || m > 0.51 {
+		t.Errorf("Float64 mean %v far from 0.5", m)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) rate %v", frac)
+	}
+	if New(1).Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotColdBounds(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.HotCold(100, 10, 0.9); v < 0 || v >= 100 {
+			t.Fatalf("HotCold out of range: %d", v)
+		}
+	}
+	// Degenerate hot sizes fall back to uniform.
+	if v := r.HotCold(10, 0, 0.9); v < 0 || v >= 10 {
+		t.Errorf("HotCold degenerate out of range: %d", v)
+	}
+	if v := r.HotCold(10, 10, 0.9); v < 0 || v >= 10 {
+		t.Errorf("HotCold full-hot out of range: %d", v)
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if r.HotCold(1000, 100, 0.8) < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// 0.8 hot probability plus 10% of the cold mass... cold draws land in
+	// [100,1000) only, so hot hits = 0.8 exactly in expectation.
+	if frac < 0.78 || frac > 0.82 {
+		t.Errorf("hot fraction %v, want ~0.8", frac)
+	}
+}

@@ -1,0 +1,33 @@
+package profess
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ResultJSON renders a Result as indented JSON for downstream tooling
+// (professim -json). All Result and CoreResult fields are exported, so
+// the encoding is the stable public schema.
+func ResultJSON(r *Result) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("profess: encoding result: %w", err)
+	}
+	return string(b), nil
+}
+
+// WorkloadResultJSON renders a WorkloadResult (metrics plus the underlying
+// Result) as indented JSON.
+func WorkloadResultJSON(wr *WorkloadResult) (string, error) {
+	b, err := json.MarshalIndent(wr, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("profess: encoding workload result: %w", err)
+	}
+	return string(b), nil
+}
+
+// FullScaleConfig returns the paper's exact Table 8 quad-core system
+// (256 MB M1, 2 GB M2, 8 MB L3, 64-KB STC, 500M instructions per
+// program). Fair warning, mirroring §4.1: the paper budgeted 3-4 days per
+// workload on this configuration; expect long runs.
+func FullScaleConfig() Config { return MultiCoreConfig(1) }

@@ -1,0 +1,71 @@
+package profess
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := &Result{
+		Scheme: "profess",
+		Cycles: 12345,
+		PerCore: []CoreResult{{
+			Program: "lbm", Instructions: 1000, IPC: 0.5, FirstIPC: 0.4,
+			M1Fraction: 0.9, ReadLatP99: 4096,
+		}},
+		EnergyEff:    5e7,
+		SwapFraction: 0.01,
+	}
+	s, err := ResultJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Scheme": "profess"`, `"Program": "lbm"`, `"ReadLatP99": 4096`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != r.Cycles || back.PerCore[0].IPC != r.PerCore[0].IPC {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestWorkloadResultJSON(t *testing.T) {
+	wr := &WorkloadResult{
+		Workload:        "w09",
+		Scheme:          SchemeProFess,
+		Result:          &Result{Scheme: "profess"},
+		Slowdowns:       []float64{1.5, 2.5},
+		AloneIPC:        []float64{0.2, 0.4},
+		WeightedSpeedup: 1.07,
+		MaxSlowdown:     2.5,
+	}
+	s, err := WorkloadResultJSON(wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `"MaxSlowdown": 2.5`) || !strings.Contains(s, `"Workload": "w09"`) {
+		t.Errorf("JSON incomplete:\n%s", s)
+	}
+}
+
+func TestFullScaleConfig(t *testing.T) {
+	cfg := FullScaleConfig()
+	if cfg.M1Capacity != 256<<20 {
+		t.Errorf("M1 = %d", cfg.M1Capacity)
+	}
+	if cfg.Instructions != 500_000_000 {
+		t.Errorf("instructions = %d", cfg.Instructions)
+	}
+	if cfg.STCEntries != 8192 || cfg.Cores != 4 || cfg.Channels != 2 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("full-scale config invalid: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package profess
+
+import (
+	"fmt"
+	"sync"
+
+	"profess/internal/sim"
+	"profess/internal/workload"
+)
+
+// Slowdown is eq. 1: a program's uncontended IPC over its IPC within the
+// workload.
+func Slowdown(ipcAlone, ipcShared float64) float64 {
+	if ipcShared <= 0 {
+		return 0
+	}
+	return ipcAlone / ipcShared
+}
+
+// WeightedSpeedup is the paper's performance figure of merit (§4.3):
+// the sum of inverse slowdowns.
+func WeightedSpeedup(slowdowns []float64) float64 {
+	var ws float64
+	for _, s := range slowdowns {
+		if s > 0 {
+			ws += 1 / s
+		}
+	}
+	return ws
+}
+
+// Unfairness is the paper's fairness figure of merit (§4.3): the maximum
+// slowdown across the co-running programs (lower is fairer).
+func Unfairness(slowdowns []float64) float64 {
+	var m float64
+	for _, s := range slowdowns {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// BaselineCache memoises uncontended (stand-alone) IPCs per program for a
+// given system configuration, since every slowdown computation reuses
+// them. It is safe for concurrent use.
+type BaselineCache struct {
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{cache: make(map[string]float64)}
+}
+
+// key folds the configuration parameters that affect stand-alone IPC.
+func (b *BaselineCache) key(program string, cfg Config) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%d|%v|%v",
+		program, cfg.Cores, cfg.Channels, cfg.M1Capacity, cfg.M2Slots,
+		cfg.L3Capacity, cfg.STCEntries, cfg.Instructions, cfg.M2TWRFactor, cfg.Scale)
+}
+
+// AloneIPC returns the program's uncontended IPC in the given system,
+// running it (under ProFess-free, plain-PoM-free conditions: the scheme
+// only matters under contention, but the paper measures IPC_SP under the
+// same management as the workload run, so the scheme is a parameter).
+func (b *BaselineCache) AloneIPC(program string, scheme Scheme, cfg Config) (float64, error) {
+	k := string(scheme) + "|" + b.key(program, cfg)
+	b.mu.Lock()
+	if v, ok := b.cache[k]; ok {
+		b.mu.Unlock()
+		return v, nil
+	}
+	b.mu.Unlock()
+
+	res, err := RunProgram(program, scheme, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ipc := res.PerCore[0].FirstIPC
+	b.mu.Lock()
+	b.cache[k] = ipc
+	b.mu.Unlock()
+	return ipc, nil
+}
+
+// WorkloadResult couples a multiprogram Result with its fairness metrics.
+type WorkloadResult struct {
+	Workload string
+	Scheme   Scheme
+	Result   *Result
+	// AloneIPC is IPC_SP per core (program instance), Slowdowns eq. 1.
+	AloneIPC        []float64
+	Slowdowns       []float64
+	WeightedSpeedup float64
+	MaxSlowdown     float64
+}
+
+// RunWorkload runs a Table 10 workload under the given scheme and derives
+// slowdowns, weighted speedup and unfairness from stand-alone baselines
+// (computed through the cache; pass nil for a throwaway cache).
+func RunWorkload(name string, scheme Scheme, cfg Config, cache *BaselineCache) (*WorkloadResult, error) {
+	if cache == nil {
+		cache = NewBaselineCache()
+	}
+	w, err := workload.WorkloadByName(name)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := sim.SpecsForWorkload(w, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg, specs, scheme)
+	if err != nil {
+		return nil, err
+	}
+	wr := &WorkloadResult{Workload: name, Scheme: scheme, Result: res}
+	for i, spec := range specs {
+		alone, err := cache.AloneIPC(spec.Name, scheme, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wr.AloneIPC = append(wr.AloneIPC, alone)
+		wr.Slowdowns = append(wr.Slowdowns, Slowdown(alone, res.PerCore[i].FirstIPC))
+	}
+	wr.WeightedSpeedup = WeightedSpeedup(wr.Slowdowns)
+	wr.MaxSlowdown = Unfairness(wr.Slowdowns)
+	return wr, nil
+}
+
+// RunWorkloadWithPolicy is RunWorkload for a custom (e.g. ablated) policy:
+// the mix runs under the given policy while the stand-alone baselines use
+// baselineScheme. Used by the ablation benchmarks.
+func RunWorkloadWithPolicy(name string, policy Policy, baselineScheme Scheme, cfg Config, cache *BaselineCache) (*WorkloadResult, error) {
+	if cache == nil {
+		cache = NewBaselineCache()
+	}
+	w, err := workload.WorkloadByName(name)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := sim.SpecsForWorkload(w, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunWithPolicy(specs, policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	wr := &WorkloadResult{Workload: name, Scheme: Scheme(policy.Name()), Result: res}
+	for i, spec := range specs {
+		alone, err := cache.AloneIPC(spec.Name, baselineScheme, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wr.AloneIPC = append(wr.AloneIPC, alone)
+		wr.Slowdowns = append(wr.Slowdowns, Slowdown(alone, res.PerCore[i].FirstIPC))
+	}
+	wr.WeightedSpeedup = WeightedSpeedup(wr.Slowdowns)
+	wr.MaxSlowdown = Unfairness(wr.Slowdowns)
+	return wr, nil
+}

@@ -1,0 +1,22 @@
+package profess
+
+import (
+	"profess/internal/migrate"
+)
+
+// RunOracle runs the two-pass profile-guided static-placement upper bound
+// on one program: pass 1 profiles per-block access counts without
+// migrating; pass 2 replays the identical workload with each swap group's
+// most-accessed block placed into M1 on first touch. The result bounds
+// what one-shot placement could achieve and calibrates how much of that
+// bound the reactive policies capture (see BenchmarkOracle).
+func RunOracle(spec ProgramSpec, cfg Config) (*Result, error) {
+	profiler := migrate.NewProfiler(8)
+	if _, err := RunWithPolicy([]ProgramSpec{spec}, profiler, cfg); err != nil {
+		return nil, err
+	}
+	// One swap costs ~K latency-gap units (§4.1): require the same margin
+	// in weighted accesses before a placement pays off.
+	oracle := migrate.NewOracle(profiler.Counts, 8)
+	return RunWithPolicy([]ProgramSpec{spec}, oracle, cfg)
+}
