@@ -1,0 +1,28 @@
+# Tier-1+ verification gate. `make check` is the bar every change must
+# clear before merging: vet, full build, and the test suite under the
+# race detector.
+
+GO ?= go
+
+.PHONY: check vet build test test-race bench quick
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# quick runs the short suite only (skips the simulation-heavy tests).
+quick:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

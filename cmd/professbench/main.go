@@ -91,6 +91,12 @@ func experiments() []experiment {
 				[]profess.Scheme{profess.SchemePoM, profess.SchemeCAMEO, profess.SchemeSILCFM,
 					profess.SchemeMemPod, profess.SchemeMDM, profess.SchemeProFess}, opts)
 		}},
+		{"faults", "robustness: slowdown/energy vs injected fault rate (PoM, MDM, ProFess)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			if len(opts.Workloads) == 0 {
+				opts.Workloads = []string{"w09", "w12", "w19"}
+			}
+			return profess.RunFaultSweep(nil, nil, opts)
+		}},
 	}
 }
 

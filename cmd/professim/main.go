@@ -7,6 +7,7 @@
 //	professim -program lbm -scheme mdm
 //	professim -workload w09 -scheme profess -instr 2000000
 //	professim -workload w09 -schemes pom,mdm,profess
+//	professim -workload w09 -scheme profess -faults rate=1e-4,seed=7
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		twr      = flag.Float64("twr", 1, "M2 write-recovery latency factor")
 		baseline = flag.Bool("baselines", true, "for workloads: run stand-alone baselines and report slowdowns")
 		threads  = flag.Int("threads", 1, "for -program: run it multi-threaded (§3.1.1)")
+		faults   = flag.String("faults", "", "fault-injection plan: key=value,... (seed, nvmread, nvmwrite, stall, stallcycles, qac, sf) or the shorthand rate=<p>")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
 		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
 	)
@@ -67,6 +69,11 @@ func main() {
 	if *ratio > 0 {
 		cfg = cfg.WithM1Ratio(*ratio)
 	}
+	plan, err := profess.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Faults = plan
 
 	if *program != "" {
 		runSingle(*program, schemeList, cfg, *threads, *jsonOut)
@@ -82,6 +89,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 	}
 	spec.Threads = threads
 	t := stats.NewTable("scheme", "IPC", "M1 frac", "STC hit", "read lat", "p99 lat", "swaps", "energy eff")
+	results := make(map[profess.Scheme]*profess.Result)
 	for _, s := range schemes {
 		res, err := profess.RunSpecs([]profess.ProgramSpec{spec}, s, cfg)
 		if err != nil {
@@ -97,10 +105,16 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 		}
 		c := res.PerCore[0]
 		t.AddRowf(string(s), c.IPC, c.M1Fraction, c.STCHitRate, c.AvgReadLat, c.ReadLatP99, c.Swaps, res.EnergyEff)
+		results[s] = res
 	}
 	if !jsonOut {
 		fmt.Printf("program %s (%d instructions, %d thread(s), scale %.4f)\n\n%s",
 			program, cfg.Instructions, threads, cfg.Scale, t.String())
+		for _, s := range schemes {
+			if res := results[s]; res != nil {
+				printResilience(string(s), res)
+			}
+		}
 	}
 }
 
@@ -119,6 +133,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 			}
 			fmt.Printf("scheme %s: swapFrac=%.4f stcHit=%.3f energyEff=%.3g\n%s\n",
 				s, res.SwapFraction, res.STCHitRate, res.EnergyEff, t.String())
+			printResilience(string(s), res)
 			continue
 		}
 		wr, err := profess.RunWorkload(name, s, cfg, cache)
@@ -131,7 +146,23 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 		}
 		fmt.Printf("scheme %s: weighted speedup=%.3f  max slowdown=%.3f  swap frac=%.4f  energy eff=%.3g\n%s\n",
 			s, wr.WeightedSpeedup, wr.MaxSlowdown, wr.Result.SwapFraction, wr.Result.EnergyEff, t.String())
+		printResilience(string(s), wr.Result)
 	}
+}
+
+// printResilience reports fault-injection activity when there was any.
+func printResilience(scheme string, res *profess.Result) {
+	r := res.Resilience
+	if !r.Any() {
+		return
+	}
+	fmt.Printf("resilience %s: nvm faults=%d (retries=%d drops=%d)  stalls=%d (%d cycles)  corrupt QAC=%d/%d  bad SF=%d/%d  degraded entries=%d cycles=%d fallback decisions=%d\n",
+		scheme,
+		r.InjectedNVMReadFaults+r.InjectedNVMWriteFaults, r.Retries, r.Drops,
+		r.InjectedStalls, r.InjectedStallCycles,
+		r.CorruptQACUpdates, r.InjectedQACCorruptions,
+		r.ImplausibleSFs, r.InjectedSFCorruptions,
+		r.DegradedEntries, r.DegradedCycles, r.DegradedDecisions)
 }
 
 func printCatalog() {

@@ -1,7 +1,10 @@
 package profess
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -275,7 +278,7 @@ func TestExpOptionsDefaults(t *testing.T) {
 
 func TestParallelFor(t *testing.T) {
 	var sum [100]int
-	err := parallelFor(100, 8, func(i int) error {
+	err := parallelFor(context.Background(), 100, 8, func(i int) error {
 		sum[i] = i
 		return nil
 	})
@@ -287,23 +290,81 @@ func TestParallelFor(t *testing.T) {
 			t.Fatalf("index %d not executed", i)
 		}
 	}
-	// Errors propagate.
+	// Errors propagate without abandoning the remaining items (a nil
+	// context is the background context).
 	calls := 0
-	err = parallelFor(10, 1, func(i int) error {
+	err = parallelFor(nil, 10, 1, func(i int) error {
 		calls++
 		if i == 3 {
 			return errBoom
 		}
 		return nil
 	})
-	if err != errBoom {
+	if !errors.Is(err, errBoom) {
 		t.Errorf("err = %v", err)
 	}
-	if calls > 4 {
-		t.Errorf("serial mode should stop early, ran %d", calls)
+	if calls != 10 {
+		t.Errorf("every item should still run after an error, ran %d", calls)
 	}
-	if parallelFor(0, 4, func(int) error { return errBoom }) != nil {
+	if parallelFor(context.Background(), 0, 4, func(int) error { return errBoom }) != nil {
 		t.Error("zero jobs should be a no-op")
+	}
+}
+
+func TestParallelForMultiError(t *testing.T) {
+	err := parallelFor(context.Background(), 6, 3, func(i int) error {
+		if i%2 == 1 {
+			return errString(string(rune('a' + i)))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a joined error")
+	}
+	for _, want := range []string{"b", "d", "f"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestParallelForPanicRecovery(t *testing.T) {
+	ran := make([]bool, 8)
+	err := parallelFor(context.Background(), 8, 4, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		ran[i] = true
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic should surface as an error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "item 2 panicked") {
+		t.Errorf("error should name the item: %v", err)
+	}
+	for i, ok := range ran {
+		if i != 2 && !ok {
+			t.Errorf("item %d lost to the panic", i)
+		}
+	}
+}
+
+func TestParallelForCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := parallelFor(ctx, 100, 1, func(i int) error {
+		calls++
+		if i == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls >= 100 {
+		t.Errorf("cancellation should stop new work, ran %d", calls)
 	}
 }
 
@@ -312,3 +373,81 @@ var errBoom = errString("boom")
 type errString string
 
 func (e errString) Error() string { return string(e) }
+
+func TestRunMultiProgramSurvivesWorkerPanic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := tinyExp()
+	opts.Parallelism = 2
+
+	// One cell's worker panics on every attempt: the sweep must surface
+	// the recovered panic as an error, keep the sibling cell's result, and
+	// have retried the wedged cell exactly once.
+	attempts := map[Scheme]int{}
+	var mu sync.Mutex
+	multiCellHook = func(wl string, s Scheme) {
+		mu.Lock()
+		attempts[s]++
+		mu.Unlock()
+		if s == SchemePoM {
+			panic("injected cell failure")
+		}
+	}
+	defer func() { multiCellHook = nil }()
+
+	rep, err := RunMultiProgram([]Scheme{SchemePoM, SchemeProFess}, opts)
+	if err == nil {
+		t.Fatal("panicking cell must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "injected cell failure") {
+		t.Errorf("error should carry the recovered panic: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("partial report lost")
+	}
+	if _, ok := rep.Cell("w02", SchemeProFess); !ok {
+		t.Error("sibling cell lost to the panic")
+	}
+	if _, ok := rep.Cell("w02", SchemePoM); ok {
+		t.Error("panicked cell should have no result")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts[SchemePoM] != 2 {
+		t.Errorf("wedged cell attempted %d times, want 2 (original + one retry)", attempts[SchemePoM])
+	}
+	if attempts[SchemeProFess] != 1 {
+		t.Errorf("healthy cell attempted %d times, want 1", attempts[SchemeProFess])
+	}
+}
+
+func TestRunMultiProgramRetriesTransientFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := tinyExp()
+	opts.Parallelism = 2
+
+	// A cell that panics only on its first attempt recovers on the retry:
+	// the sweep as a whole succeeds.
+	var mu sync.Mutex
+	failed := false
+	multiCellHook = func(wl string, s Scheme) {
+		mu.Lock()
+		defer mu.Unlock()
+		if s == SchemePoM && !failed {
+			failed = true
+			panic("transient failure")
+		}
+	}
+	defer func() { multiCellHook = nil }()
+
+	rep, err := RunMultiProgram([]Scheme{SchemePoM, SchemeProFess}, opts)
+	if err != nil {
+		t.Fatalf("transient failure must be absorbed by the retry: %v", err)
+	}
+	if _, ok := rep.Cell("w02", SchemePoM); !ok {
+		t.Error("retried cell missing from the report")
+	}
+}

@@ -1,0 +1,146 @@
+package profess
+
+import (
+	"fmt"
+	"strings"
+
+	"profess/internal/stats"
+)
+
+// FaultSweepCell is one (fault rate, scheme) outcome of the robustness
+// sweep: the workload-gmean figures of merit plus the resilience tallies
+// accumulated across the workloads.
+type FaultSweepCell struct {
+	Rate   float64
+	Scheme Scheme
+	// GmeanWS / GmeanMaxSdn are geometric means across workloads of the
+	// weighted speedup and max slowdown; GmeanEnergyEff likewise for
+	// requests/s/W.
+	GmeanWS        float64
+	GmeanMaxSdn    float64
+	GmeanEnergyEff float64
+	Resilience     Resilience
+}
+
+// FaultSweepReport is the robustness study: how gracefully each scheme
+// degrades as the injected fault rate rises. Rate 0 is the clean
+// reference point every other row normalises against.
+type FaultSweepReport struct {
+	Rates     []float64
+	Schemes   []Scheme
+	Workloads []string
+	Cells     []FaultSweepCell
+}
+
+// DefaultFaultRates is the sweep's fault-rate axis: clean, then roughly
+// decade steps. Each rate r expands through the fault.ParsePlan "rate"
+// shorthand (NVM read+write transients at r, QAC corruption at r/4,
+// stalls at r/10) plus SF corruption at r so every defense is exercised.
+var DefaultFaultRates = []float64{0, 1e-5, 1e-4, 1e-3}
+
+// planForRate builds the sweep's fault plan for one rate.
+func planForRate(rate float64, seed uint64) FaultPlan {
+	if rate <= 0 {
+		return FaultPlan{}
+	}
+	return FaultPlan{
+		Seed:           seed,
+		NVMReadRate:    rate,
+		NVMWriteRate:   rate,
+		StallRate:      rate / 10,
+		QACCorruptRate: rate / 4,
+		SFCorruptRate:  rate,
+	}
+}
+
+// RunFaultSweep measures slowdown, throughput and energy versus injected
+// fault rate for the given schemes (defaults: PoM, MDM, ProFess — the
+// baseline against the paper's two mechanisms). Stand-alone baselines are
+// shared across rates because they always run fault-free.
+func RunFaultSweep(schemes []Scheme, rates []float64, opts ExpOptions) (*FaultSweepReport, error) {
+	if len(schemes) == 0 {
+		schemes = []Scheme{SchemePoM, SchemeMDM, SchemeProFess}
+	}
+	if len(rates) == 0 {
+		rates = DefaultFaultRates
+	}
+	rep := &FaultSweepReport{Rates: rates, Schemes: schemes, Workloads: opts.workloads()}
+	for _, rate := range rates {
+		o := opts
+		o.Faults = planForRate(rate, opts.Faults.Seed)
+		mp, err := RunMultiProgram(schemes, o)
+		if err != nil {
+			return nil, fmt.Errorf("fault sweep rate %g: %w", rate, err)
+		}
+		for _, s := range schemes {
+			cell := FaultSweepCell{Rate: rate, Scheme: s}
+			var ws, sdn, eff []float64
+			for _, c := range mp.Cells {
+				if c.Scheme != s {
+					continue
+				}
+				ws = append(ws, c.WeightedSpeedup)
+				sdn = append(sdn, c.MaxSlowdown)
+				eff = append(eff, c.EnergyEff)
+				cell.Resilience.Add(c.Resilience)
+			}
+			cell.GmeanWS = stats.GeoMean(ws)
+			cell.GmeanMaxSdn = stats.GeoMean(sdn)
+			cell.GmeanEnergyEff = stats.GeoMean(eff)
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// Cell looks up (rate, scheme).
+func (r *FaultSweepReport) Cell(rate float64, s Scheme) (FaultSweepCell, bool) {
+	for _, c := range r.Cells {
+		if c.Rate == rate && c.Scheme == s {
+			return c, true
+		}
+	}
+	return FaultSweepCell{}, false
+}
+
+// String renders the sweep: absolute figures per (rate, scheme) plus each
+// metric normalised to the scheme's own clean (rate 0) run — the graceful
+// degradation curves.
+func (r *FaultSweepReport) String() string {
+	var b strings.Builder
+	t := stats.NewTable("fault rate", "scheme", "gmean WS", "gmean max sdn", "gmean energy eff")
+	for _, c := range r.Cells {
+		t.AddRowf(fmt.Sprintf("%g", c.Rate), string(c.Scheme), c.GmeanWS, c.GmeanMaxSdn, c.GmeanEnergyEff)
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nDegradation normalised to each scheme's clean run:\n")
+	t2 := stats.NewTable("fault rate", "scheme", "WS ratio", "max sdn ratio", "energy ratio")
+	for _, c := range r.Cells {
+		clean, ok := r.Cell(0, c.Scheme)
+		if !ok || c.Rate == 0 {
+			continue
+		}
+		t2.AddRowf(fmt.Sprintf("%g", c.Rate), string(c.Scheme),
+			Ratio(c.GmeanWS, clean.GmeanWS),
+			Ratio(c.GmeanMaxSdn, clean.GmeanMaxSdn),
+			Ratio(c.GmeanEnergyEff, clean.GmeanEnergyEff))
+	}
+	b.WriteString(t2.String())
+
+	b.WriteString("\nResilience activity (summed over workloads):\n")
+	t3 := stats.NewTable("fault rate", "scheme", "injected", "retries", "drops", "corrupt QAC", "bad SF", "degraded entries")
+	for _, c := range r.Cells {
+		if !c.Resilience.Any() {
+			continue
+		}
+		res := c.Resilience
+		injected := res.InjectedNVMReadFaults + res.InjectedNVMWriteFaults +
+			res.InjectedStalls + res.InjectedQACCorruptions + res.InjectedSFCorruptions
+		t3.AddRowf(fmt.Sprintf("%g", c.Rate), string(c.Scheme),
+			injected, res.Retries, res.Drops, res.CorruptQACUpdates,
+			res.ImplausibleSFs, res.DegradedEntries)
+	}
+	b.WriteString(t3.String())
+	return b.String()
+}

@@ -20,6 +20,9 @@ type MultiProgramCell struct {
 	AvgReadLat      float64
 	Slowdowns       []float64
 	Programs        []string
+	// Resilience tallies the cell's fault injection and degradation
+	// (zero for a fault-free run).
+	Resilience Resilience
 }
 
 // MultiProgramReport regenerates the multiprogram evaluation: Figs. 10-15
@@ -61,7 +64,7 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 			}
 		}
 	}
-	err := parallelFor(len(baseJobs), opts.Parallelism, func(i int) error {
+	err := parallelFor(opts.ctx(), len(baseJobs), opts.Parallelism, func(i int) error {
 		_, err := cache.AloneIPC(baseJobs[i].prog, baseJobs[i].scheme, cfg)
 		return err
 	})
@@ -81,41 +84,68 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 	}
 	cells := make([]MultiProgramCell, len(jobs))
 	var mu sync.Mutex
-	err = parallelFor(len(jobs), opts.Parallelism, func(i int) error {
-		wr, err := RunWorkload(jobs[i].wl, jobs[i].scheme, cfg, cache)
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", jobs[i].wl, jobs[i].scheme, err)
-		}
-		var lat, n float64
-		var programs []string
-		for _, c := range wr.Result.PerCore {
-			lat += c.AvgReadLat * float64(c.Served)
-			n += float64(c.Served)
-			programs = append(programs, c.Program)
-		}
-		if n > 0 {
-			lat /= n
-		}
-		mu.Lock()
-		cells[i] = MultiProgramCell{
-			Workload:        jobs[i].wl,
-			Scheme:          jobs[i].scheme,
-			WeightedSpeedup: wr.WeightedSpeedup,
-			MaxSlowdown:     wr.MaxSlowdown,
-			EnergyEff:       wr.Result.EnergyEff,
-			SwapFraction:    wr.Result.SwapFraction,
-			AvgReadLat:      lat,
-			Slowdowns:       wr.Slowdowns,
-			Programs:        programs,
-		}
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	runCells := func() error {
+		return parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
+			mu.Lock()
+			done := cells[i].Workload != ""
+			mu.Unlock()
+			if done {
+				return nil // succeeded on a previous attempt
+			}
+			if multiCellHook != nil {
+				multiCellHook(jobs[i].wl, jobs[i].scheme)
+			}
+			wr, err := RunWorkload(jobs[i].wl, jobs[i].scheme, cfg, cache)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", jobs[i].wl, jobs[i].scheme, err)
+			}
+			var lat, n float64
+			var programs []string
+			for _, c := range wr.Result.PerCore {
+				lat += c.AvgReadLat * float64(c.Served)
+				n += float64(c.Served)
+				programs = append(programs, c.Program)
+			}
+			if n > 0 {
+				lat /= n
+			}
+			mu.Lock()
+			cells[i] = MultiProgramCell{
+				Workload:        jobs[i].wl,
+				Scheme:          jobs[i].scheme,
+				WeightedSpeedup: wr.WeightedSpeedup,
+				MaxSlowdown:     wr.MaxSlowdown,
+				EnergyEff:       wr.Result.EnergyEff,
+				SwapFraction:    wr.Result.SwapFraction,
+				AvgReadLat:      lat,
+				Slowdowns:       wr.Slowdowns,
+				Programs:        programs,
+				Resilience:      wr.Result.Resilience,
+			}
+			mu.Unlock()
+			return nil
+		})
 	}
-	return &MultiProgramReport{Schemes: schemes, Cells: cells}, nil
+	err = runCells()
+	if err != nil && opts.ctx().Err() == nil {
+		// Failed cells (including recovered worker panics) get one retry;
+		// completed cells are skipped, so a transient failure costs one
+		// re-run rather than the whole sweep.
+		err = runCells()
+	}
+	rep := &MultiProgramReport{Schemes: schemes, Cells: cells}
+	if err != nil {
+		// Return the surviving cells alongside the error: a long sweep
+		// with one wedged cell still yields the rest of the matrix.
+		return rep, err
+	}
+	return rep, nil
 }
+
+// multiCellHook, when non-nil, runs at the start of every workload-cell
+// job of RunMultiProgram. It exists for tests, which use it to inject
+// failures (including panics) into the worker pool.
+var multiCellHook func(wl string, scheme Scheme)
 
 // workloadByName resolves through the public Workloads view.
 func workloadByName(name string) (Workload, error) {
@@ -271,7 +301,7 @@ func RunMemPodComparison(opts ExpOptions) (*AMMATReport, error) {
 	for _, wl := range wls {
 		jobs = append(jobs, cellKey{wl, SchemePoM}, cellKey{wl, SchemeMemPod})
 	}
-	err = parallelFor(len(jobs), opts.Parallelism, func(i int) error {
+	err = parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		res, err := RunMix(jobs[i].wl, jobs[i].scheme, cfg)
 		if err != nil {
 			return err

@@ -46,7 +46,7 @@ func RunSinglePrograms(schemes []Scheme, opts ExpOptions) (*SingleProgramReport,
 		}
 	}
 	rows := make([]SingleProgramRow, len(jobs))
-	err := parallelFor(len(jobs), opts.Parallelism, func(i int) error {
+	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		var ipcs []float64
 		row := SingleProgramRow{Program: jobs[i].prog, Scheme: jobs[i].scheme}
 		for s := 0; s < opts.seeds(); s++ {
@@ -181,7 +181,7 @@ func RunSTCSensitivity(opts ExpOptions) (*STCSensitivityReport, error) {
 		}
 	}
 	rows := make([]STCSensitivityRow, len(jobs))
-	err := parallelFor(len(jobs), opts.Parallelism, func(i int) error {
+	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		c := cfg
 		c.STCEntries = jobs[i].size
 		res, err := RunProgram(jobs[i].prog, SchemeMDM, c)
@@ -259,7 +259,7 @@ func RunSamplingAccuracy(opts ExpOptions) (*SamplingAccuracyReport, error) {
 		}
 	}
 	cells := make([]SamplingAccuracyCell, len(jobs))
-	err := parallelFor(len(jobs), opts.Parallelism, func(i int) error {
+	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		spec, err := sim.SpecForProgram(jobs[i].prog, cfg.Scale)
 		if err != nil {
 			return err
@@ -384,7 +384,7 @@ func mdmVsPoMPoint(name string, opts ExpOptions, mod func(Config) Config) (Sensi
 		jobs = append(jobs, job{p, SchemePoM}, job{p, SchemeMDM})
 	}
 	ipcs := make([]float64, len(jobs))
-	err := parallelFor(len(jobs), opts.Parallelism, func(i int) error {
+	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		res, err := RunProgram(jobs[i].prog, jobs[i].scheme, cfg)
 		if err != nil {
 			return err

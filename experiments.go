@@ -1,8 +1,11 @@
 package profess
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"profess/internal/stats"
@@ -29,6 +32,21 @@ type ExpOptions struct {
 	// distinct generator seeds and reports the mean (plus spread), giving
 	// the synthetic-workload results confidence beyond one draw.
 	Seeds int
+	// Context, when non-nil, cancels in-flight experiments: its deadline
+	// and cancellation propagate into every simulation's event loop.
+	Context context.Context
+	// Faults is the fault-injection plan applied to every simulation the
+	// experiment runs (zero plan = fault-free). Stand-alone slowdown
+	// baselines always run fault-free so eq. 1 keeps a clean reference.
+	Faults FaultPlan
+}
+
+// ctx returns the effective context.
+func (o ExpOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // seeds returns the effective seed-replication count.
@@ -53,6 +71,7 @@ func (o ExpOptions) singleConfig() Config {
 	if o.Instructions > 0 {
 		cfg.Instructions = o.Instructions
 	}
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -62,6 +81,7 @@ func (o ExpOptions) multiConfig() Config {
 	if o.Instructions > 0 {
 		cfg.Instructions = o.Instructions
 	}
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -95,33 +115,49 @@ func (o ExpOptions) workloads() []string {
 	return names
 }
 
-// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool and
-// returns the first error.
-func parallelFor(n, workers int, fn func(i int) error) error {
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool. One
+// item failing (or panicking — panics are recovered into errors carrying
+// the stack) does not abandon the rest: every item is attempted unless
+// the context is cancelled, and all failures come back joined in index
+// order, so callers keep the surviving results.
+func parallelFor(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("item %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		return fn(i)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				break
 			}
+			errs[i] = call(i)
 		}
-		return nil
+		return errors.Join(errs...)
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
 	)
 	take := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if next >= n {
 			return -1
 		}
 		i := next
@@ -133,23 +169,22 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := take()
 				if i < 0 {
 					return
 				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
+				errs[i] = call(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // Ratio returns a/b, or 0 when b is 0 — the "normalised to PoM" helper

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"profess/internal/hybrid"
+	"profess/internal/stats"
 )
 
 // MDMConfig parameterises the Migration-Decision Mechanism.
@@ -55,6 +56,13 @@ type mdmProgram struct {
 	observing bool  // observation phase (no recomputation) vs estimation
 	// Recomputations counts exp_cnt refreshes, for tests/reporting.
 	Recomputations int64
+
+	// degraded marks the program's learned statistics as untrusted after a
+	// corrupt counter update was detected; while set, migration decisions
+	// fall back to competing counters. lastNow supports the degraded-cycle
+	// accounting (the MDM has no clock of its own, only access stamps).
+	degraded bool
+	lastNow  int64
 }
 
 // MDM is the probabilistic Migration-Decision Mechanism: it learns, per
@@ -70,9 +78,30 @@ type MDM struct {
 	cfg   MDMConfig
 	progs []mdmProgram
 
+	// fallback holds the competing counters (PoM-style, one per swap
+	// group) that decide promotions for degraded programs; lazily built on
+	// the first degradation and dropped once every program re-converges.
+	fallback map[int64]*ccGroup
+
 	// Decision tallies for reporting.
 	Considered int64 // M2 accesses evaluated
 	Approved   int64 // swaps scheduled
+
+	// CorruptUpdates counts Table 6 updates rejected as corrupt;
+	// DegradedEntries counts transitions into degraded mode;
+	// DegradedCycles accrues cycles spent degraded; DegradedDecisions
+	// counts accesses decided by the fallback competing counters.
+	CorruptUpdates    int64
+	DegradedEntries   int64
+	DegradedCycles    int64
+	DegradedDecisions int64
+}
+
+// ccGroup is one swap group's competing counter for the degraded-mode
+// fallback: majority-element tracking of the hottest M2 candidate.
+type ccGroup struct {
+	candidate int8 // slot of the current M2 candidate, -1 none
+	counter   uint32
 }
 
 // NewMDM builds the mechanism.
@@ -113,6 +142,26 @@ func (m *MDM) OnSTCEvict(core int, qI, qE uint8, count uint32) {
 		return
 	}
 	p := &m.progs[core]
+	if qI >= hybrid.NumQI || qE > hybrid.NumQE || count > hybrid.CounterMax {
+		// Sanity check: legitimate hardware can only deliver q_I in
+		// [0, NumQI), q_E in [1, NumQE] and counts up to the 6-bit
+		// saturation value. Anything else is corrupt ST metadata — reject
+		// the update, discard the phase it may have polluted, and degrade
+		// the program to competing-counter decisions until a full
+		// observation phase completes on clean updates.
+		m.CorruptUpdates++
+		if !p.degraded {
+			m.DegradedEntries++
+		}
+		*p = mdmProgram{observing: true, Recomputations: p.Recomputations, degraded: true, lastNow: p.lastNow}
+		for q := 0; q < hybrid.NumQI; q++ {
+			p.expCnt[q] = m.cfg.InitialExpCnt
+		}
+		if m.fallback == nil {
+			m.fallback = make(map[int64]*ccGroup)
+		}
+		return
+	}
 	p.accumCnt[qE] += float64(count)
 	p.numQSumI[qE]++
 	p.numQ[qI][qE]++
@@ -125,6 +174,12 @@ func (m *MDM) OnSTCEvict(core int, qI, qE uint8, count uint32) {
 			p.observing = false
 			p.updates = 0
 			p.recompute()
+			if p.degraded {
+				// A full observation phase of clean updates re-converged
+				// the statistics: trust the recomputed estimates again.
+				p.degraded = false
+				m.dropFallbackIfIdle()
+			}
 		}
 		return
 	}
@@ -158,8 +213,31 @@ func (p *mdmProgram) recompute() {
 	}
 }
 
+// dropFallbackIfIdle frees the competing counters once no program is
+// degraded any more.
+func (m *MDM) dropFallbackIfIdle() {
+	for i := range m.progs {
+		if m.progs[i].degraded {
+			return
+		}
+	}
+	m.fallback = nil
+}
+
+// Degraded reports whether the program's learned statistics are currently
+// untrusted.
+func (m *MDM) Degraded(core int) bool {
+	return core >= 0 && core < len(m.progs) && m.progs[core].degraded
+}
+
 // ExpCnt returns the registered expected access count for (program, q_I).
+// A q_I outside the quantizer's range can only come from corrupt ST
+// metadata; it predicts zero remaining accesses rather than indexing out
+// of bounds.
 func (m *MDM) ExpCnt(core int, qI uint8) float64 {
+	if core < 0 || core >= len(m.progs) || qI >= hybrid.NumQI {
+		return 0
+	}
 	return m.progs[core].expCnt[qI]
 }
 
@@ -216,13 +294,81 @@ func (m *MDM) Decide(info hybrid.AccessInfo, ctl hybrid.PolicyContext, treatM1Va
 }
 
 // OnAccess implements hybrid.Policy: standalone MDM, no fairness guidance.
+// Degraded programs are decided by the competing-counter fallback instead
+// of the (untrusted) learned estimates.
 func (m *MDM) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	degraded := false
+	if info.Core >= 0 && info.Core < len(m.progs) {
+		p := &m.progs[info.Core]
+		if p.degraded {
+			degraded = true
+			if p.lastNow > 0 && info.Now > p.lastNow {
+				m.DegradedCycles += info.Now - p.lastNow
+			}
+		}
+		p.lastNow = info.Now
+	}
+	if degraded {
+		m.fallbackAccess(info, ctl)
+		return
+	}
 	if info.Loc == 0 {
 		return
 	}
 	m.Considered++
 	if m.Decide(info, ctl, false) && ctl.ScheduleSwap(info.Group, info.Slot) {
 		m.Approved++
+	}
+}
+
+// fallbackAccess is the degraded-mode policy: PoM-style per-group
+// competing counters (an M1 access decays the challenger, an M2 access
+// competes for candidacy) with the promotion threshold playing
+// MinBenefit's role. It needs no learned state, so it stays sound while
+// the Table 6 statistics re-converge.
+func (m *MDM) fallbackAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	m.DegradedDecisions++
+	g := m.fallback[info.Group]
+	if g == nil {
+		g = &ccGroup{candidate: -1}
+		m.fallback[info.Group] = g
+	}
+	if info.Loc == 0 {
+		if g.counter > 0 {
+			g.counter--
+		}
+		return
+	}
+	m.Considered++
+	weight := uint32(1)
+	if info.Write {
+		weight = uint32(m.cfg.WriteWeight)
+	}
+	switch {
+	case g.candidate == int8(info.Slot):
+		g.counter += weight
+	case g.counter <= weight:
+		g.candidate = int8(info.Slot)
+		g.counter = weight
+	default:
+		g.counter -= weight
+	}
+	if g.candidate == int8(info.Slot) && float64(g.counter) >= m.cfg.MinBenefit {
+		if ctl.ScheduleSwap(info.Group, info.Slot) {
+			m.Approved++
+			g.candidate = -1
+			g.counter = 0
+		}
+	}
+}
+
+// ResilienceStats reports the mechanism's degradation counters.
+func (m *MDM) ResilienceStats() stats.Resilience {
+	return stats.Resilience{
+		CorruptQACUpdates: m.CorruptUpdates,
+		DegradedEntries:   m.DegradedEntries,
+		DegradedCycles:    m.DegradedCycles,
+		DegradedDecisions: m.DegradedDecisions,
 	}
 }
 

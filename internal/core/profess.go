@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"profess/internal/fault"
 	"profess/internal/hybrid"
+	"profess/internal/stats"
 )
 
 // ProFessConfig parameterises the integrated framework.
@@ -76,6 +78,15 @@ type ProFess struct {
 
 	// CaseCounts tallies Table 7 outcomes by Decision.
 	CaseCounts [4]int64
+
+	// GuidanceSuspended counts M2 accesses where the Table 7 guidance was
+	// skipped because an involved program's slowdown factors were degraded.
+	GuidanceSuspended int64
+	// DegradedCycles accrues simulated time during which at least one
+	// program's monitor was degraded (measured between consecutive access
+	// stamps — the policy has no clock of its own).
+	DegradedCycles int64
+	lastNow        int64
 }
 
 // NewProFess builds the framework.
@@ -148,6 +159,12 @@ func (p *ProFess) Classify(cM1, cM2 int) Decision {
 
 // OnAccess implements hybrid.Policy: Table 7 guidance around MDM.
 func (p *ProFess) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
+	if p.rsm.AnyDegraded() {
+		if p.lastNow > 0 && info.Now > p.lastNow {
+			p.DegradedCycles += info.Now - p.lastNow
+		}
+	}
+	p.lastNow = info.Now
 	if info.Loc == 0 {
 		return
 	}
@@ -155,6 +172,14 @@ func (p *ProFess) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 	cM1 := ctl.Owner(info.Group, ctl.M1Slot(info.Group))
 	if cM1 == cM2 || cM1 < 0 {
 		// Same program on both sides (or unallocated M1): plain MDM.
+		p.mdm.OnAccess(info, ctl)
+		return
+	}
+	if p.rsm.DegradedAny(cM1, cM2) {
+		// An involved program's slowdown factors are untrusted: suspend
+		// the fairness guidance (which would steer on corrupt SF values)
+		// and fall back to plain MDM until the monitor re-converges.
+		p.GuidanceSuspended++
 		p.mdm.OnAccess(info, ctl)
 		return
 	}
@@ -170,6 +195,22 @@ func (p *ProFess) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 	default:
 		p.mdm.OnAccess(info, ctl)
 	}
+}
+
+// SetFaultInjector arms the wrapped RSM with a fault injector (the MDM's
+// corruption arrives through the controller's ST metadata path, so only
+// the monitor draws faults directly).
+func (p *ProFess) SetFaultInjector(inj *fault.Injector) { p.rsm.SetFaultInjector(inj) }
+
+// ResilienceStats aggregates the degradation counters of the wrapped
+// mechanism and monitor.
+func (p *ProFess) ResilienceStats() stats.Resilience {
+	r := p.mdm.ResilienceStats()
+	r.ImplausibleSFs += p.rsm.ImplausibleSFs
+	r.DegradedEntries += p.rsm.DegradedEntries
+	r.DegradedDecisions += p.GuidanceSuspended
+	r.DegradedCycles += p.DegradedCycles
+	return r
 }
 
 var _ hybrid.Policy = (*ProFess)(nil)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"profess/internal/fault"
 	"profess/internal/stats"
 )
 
@@ -26,6 +27,10 @@ type RSMConfig struct {
 	Probe bool
 	// Regions is required when Probe is set.
 	Regions int
+	// ReconvergePeriods is how many consecutive clean sampling periods a
+	// program's monitor must complete after an implausible slowdown
+	// factor before its SF values are trusted again (0 = 2).
+	ReconvergePeriods int
 }
 
 // DefaultRSMConfig returns the §4.1 configuration for n programs, with
@@ -57,6 +62,12 @@ type rsmProgram struct {
 	sfA float64
 	sfB float64
 
+	// degraded marks the program's SF values as untrusted after a sanity
+	// check rejected them; cleanLeft counts the clean periods still
+	// needed before re-trusting.
+	degraded  bool
+	cleanLeft int
+
 	// Probe series (Table 4).
 	regionCounts []int64
 	sigmaReqPct  []float64
@@ -72,6 +83,15 @@ type RSM struct {
 	progs []rsmProgram
 	// Periods counts completed sampling periods per program.
 	Periods []int64
+
+	// inj, when armed, corrupts SF registers at period boundaries.
+	inj *fault.Injector
+	// ImplausibleSFs counts slowdown factors rejected by the sanity
+	// checks; DegradedEntries counts transitions into degraded mode;
+	// DegradedPeriods counts sampling periods completed while degraded.
+	ImplausibleSFs  int64
+	DegradedEntries int64
+	DegradedPeriods int64
 }
 
 // NewRSM builds the monitor.
@@ -87,6 +107,9 @@ func NewRSM(cfg RSMConfig) (*RSM, error) {
 	}
 	if cfg.Probe && cfg.Regions <= 0 {
 		return nil, fmt.Errorf("core: RSM probe requires Regions")
+	}
+	if cfg.ReconvergePeriods <= 0 {
+		cfg.ReconvergePeriods = 2
 	}
 	r := &RSM{cfg: cfg, progs: make([]rsmProgram, cfg.NumPrograms), Periods: make([]int64, cfg.NumPrograms)}
 	for i := range r.progs {
@@ -177,12 +200,79 @@ func (r *RSM) endPeriod(core int) {
 
 	p.sfA = sfA(m1P, totP, m1S, totS)
 	p.sfB = total / self
+	if r.inj.Fire(fault.SFCorruption) {
+		// Injected register corruption: one SF arrives scrambled. The
+		// sanity check below is the defense.
+		if r.inj.Intn(2) == 0 {
+			p.sfA = r.inj.CorruptSF()
+		} else {
+			p.sfB = r.inj.CorruptSF()
+		}
+	}
+	// Sanity check: a slowdown factor must be a positive, finite value of
+	// plausible magnitude. An implausible one means the monitoring state
+	// is corrupt, so the whole smoothed history is discarded and the
+	// program's guidance degrades to neutral until the monitor completes
+	// ReconvergePeriods clean periods on fresh state.
+	if !plausibleSF(p.sfA) || !plausibleSF(p.sfB) {
+		r.ImplausibleSFs++
+		if !p.degraded {
+			r.DegradedEntries++
+		}
+		p.degraded = true
+		p.cleanLeft = r.cfg.ReconvergePeriods
+		p.sfA, p.sfB = 1, 1
+		for j := range p.avg {
+			p.avg[j].Reset()
+		}
+	} else if p.degraded {
+		r.DegradedPeriods++
+		p.cleanLeft--
+		if p.cleanLeft <= 0 {
+			p.degraded = false
+		}
+	}
 	if p.regionCounts != nil {
 		p.avgSFA = append(p.avgSFA, p.sfA)
 	}
 
 	p.cur = rsmCounters{}
 	r.Periods[core]++
+}
+
+// plausibleSF accepts positive, finite slowdown factors below 1e9. The
+// legitimate computation (smoothed counters incremented by one) can never
+// produce NaN, an infinity, a non-positive value or that magnitude, so
+// the check only fires on corrupted state and is a no-op in clean runs.
+func plausibleSF(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 && v < 1e9
+}
+
+// SetFaultInjector arms the monitor with a fault injector (nil disarms).
+func (r *RSM) SetFaultInjector(inj *fault.Injector) { r.inj = inj }
+
+// Degraded reports whether the program's slowdown factors are currently
+// untrusted.
+func (r *RSM) Degraded(core int) bool { return r.progs[core].degraded }
+
+// DegradedAny reports whether any of the given programs is degraded.
+func (r *RSM) DegradedAny(cores ...int) bool {
+	for _, c := range cores {
+		if c >= 0 && c < len(r.progs) && r.progs[c].degraded {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyDegraded reports whether any program at all is degraded.
+func (r *RSM) AnyDegraded() bool {
+	for i := range r.progs {
+		if r.progs[i].degraded {
+			return true
+		}
+	}
+	return false
 }
 
 // sfA evaluates eq. 2 defensively: an undefined ratio degrades to 1

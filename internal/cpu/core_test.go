@@ -62,7 +62,10 @@ func buildCore(t *testing.T, p trace.Params, budget int64, mem Memory, q *event.
 func TestCoreValidation(t *testing.T) {
 	q := &event.Queue{}
 	fm := &fakeMemory{sched: q, latency: 10}
-	g := trace.MustNewGenerator(genParams(trace.Stream, 20, 0))
+	g, err := trace.NewGenerator(genParams(trace.Stream, 20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := New(0, DefaultConfig(), g, vmapFor(1<<20, 4096), 4096, 0, fm, q); err == nil {
 		t.Error("zero budget should fail")
 	}

@@ -1,0 +1,330 @@
+// Package fault provides deterministic fault injection for the simulated
+// memory system. A Plan names per-event fault rates; an Injector draws
+// from a seeded xrand stream, so a fixed (Plan, workload) pair reproduces
+// the exact same fault schedule on every run. The zero Plan injects
+// nothing and a nil *Injector is a valid no-op, so fault-free simulations
+// pay no cost and stay bit-identical to a build without this package.
+//
+// The injectable fault classes model the failure behaviour production
+// hybrid memories exhibit (NVM transient read/write failures, wedged
+// channels, corrupted Swap-group Table metadata); the consumers —
+// internal/mem, internal/hybrid and internal/core — carry the matching
+// defenses (bounded retry with backoff, stall tolerance, sanity checks
+// with a degraded-mode fallback).
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"profess/internal/xrand"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// NVMReadTransient fails one M2 (NVM) demand read burst; the data
+	// returned is unusable and the controller must retry.
+	NVMReadTransient Kind = iota
+	// NVMWriteTransient fails one M2 demand write burst.
+	NVMWriteTransient
+	// ChannelStall wedges a channel's scheduler for a stall episode.
+	ChannelStall
+	// QACCorruption corrupts one Quantized Access-Counter value on its
+	// way through the Swap-group Table (fill or writeback).
+	QACCorruption
+	// SFCorruption corrupts one slowdown-factor register at an RSM
+	// sampling-period boundary.
+	SFCorruption
+
+	// NumKinds is the number of fault classes.
+	NumKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NVMReadTransient:
+		return "nvm-read"
+	case NVMWriteTransient:
+		return "nvm-write"
+	case ChannelStall:
+		return "channel-stall"
+	case QACCorruption:
+		return "qac-corruption"
+	case SFCorruption:
+		return "sf-corruption"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DefaultStallCycles is the stall-episode duration used when a Plan
+// enables stalls without naming one.
+const DefaultStallCycles = 2000
+
+// Plan configures an injector: one probability per fault class plus the
+// seed of the deterministic draw stream. The zero value injects nothing.
+type Plan struct {
+	// Seed selects the deterministic fault schedule (0 is a valid seed).
+	Seed uint64
+	// NVMReadRate / NVMWriteRate are per-M2-burst transient-failure
+	// probabilities.
+	NVMReadRate  float64
+	NVMWriteRate float64
+	// StallRate is the per-enqueue probability of a channel stall episode
+	// of StallCycles cycles (DefaultStallCycles when 0).
+	StallRate   float64
+	StallCycles int64
+	// QACCorruptRate is the per-ST-transfer probability of corrupting one
+	// QAC value.
+	QACCorruptRate float64
+	// SFCorruptRate is the per-sampling-period probability of corrupting
+	// a slowdown-factor register.
+	SFCorruptRate float64
+}
+
+// Rate returns the plan's probability for one fault class.
+func (p Plan) Rate(k Kind) float64 {
+	switch k {
+	case NVMReadTransient:
+		return p.NVMReadRate
+	case NVMWriteTransient:
+		return p.NVMWriteRate
+	case ChannelStall:
+		return p.StallRate
+	case QACCorruption:
+		return p.QACCorruptRate
+	case SFCorruption:
+		return p.SFCorruptRate
+	}
+	return 0
+}
+
+// Enabled reports whether any fault class has a positive rate.
+func (p Plan) Enabled() bool {
+	for k := Kind(0); k < NumKinds; k++ {
+		if p.Rate(k) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveStallCycles returns the stall-episode duration with the
+// default applied.
+func (p Plan) EffectiveStallCycles() int64 {
+	if p.StallCycles > 0 {
+		return p.StallCycles
+	}
+	return DefaultStallCycles
+}
+
+// Validate rejects rates outside [0, 1] and negative durations.
+func (p Plan) Validate() error {
+	for k := Kind(0); k < NumKinds; k++ {
+		if r := p.Rate(k); r < 0 || r > 1 || math.IsNaN(r) {
+			return fmt.Errorf("fault: %s rate %v out of [0,1]", k, r)
+		}
+	}
+	if p.StallCycles < 0 {
+		return fmt.Errorf("fault: negative stall duration %d", p.StallCycles)
+	}
+	return nil
+}
+
+// String renders the plan in the -faults flag syntax.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	add("seed", strconv.FormatUint(p.Seed, 10))
+	if p.NVMReadRate > 0 {
+		add("nvmread", strconv.FormatFloat(p.NVMReadRate, 'g', -1, 64))
+	}
+	if p.NVMWriteRate > 0 {
+		add("nvmwrite", strconv.FormatFloat(p.NVMWriteRate, 'g', -1, 64))
+	}
+	if p.StallRate > 0 {
+		add("stall", strconv.FormatFloat(p.StallRate, 'g', -1, 64))
+		add("stallcycles", strconv.FormatInt(p.EffectiveStallCycles(), 10))
+	}
+	if p.QACCorruptRate > 0 {
+		add("qac", strconv.FormatFloat(p.QACCorruptRate, 'g', -1, 64))
+	}
+	if p.SFCorruptRate > 0 {
+		add("sf", strconv.FormatFloat(p.SFCorruptRate, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the "key=value,key=value" plan syntax of the -faults
+// flag. Keys: seed, nvmread, nvmwrite, stall, stallcycles, qac, sf. The
+// shorthand "rate=<p>" sets nvmread+nvmwrite to p, qac to p/4 and stall
+// to p/10 — one knob for the common sweep. Empty input returns the zero
+// plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: seed %q: %w", val, err)
+			}
+			p.Seed = u
+		case "stallcycles":
+			n, err := strconv.ParseInt(val, 0, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: stallcycles %q: %w", val, err)
+			}
+			p.StallCycles = n
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: %s %q: %w", key, val, err)
+			}
+			switch key {
+			case "nvmread":
+				p.NVMReadRate = f
+			case "nvmwrite":
+				p.NVMWriteRate = f
+			case "stall":
+				p.StallRate = f
+			case "qac":
+				p.QACCorruptRate = f
+			case "sf":
+				p.SFCorruptRate = f
+			case "rate":
+				p.NVMReadRate = f
+				p.NVMWriteRate = f
+				p.QACCorruptRate = f / 4
+				p.StallRate = f / 10
+			default:
+				return Plan{}, fmt.Errorf("fault: unknown key %q (known: %s)", key, knownKeys())
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// knownKeys lists the ParsePlan vocabulary for error messages.
+func knownKeys() string {
+	keys := []string{"seed", "nvmread", "nvmwrite", "stall", "stallcycles", "qac", "sf", "rate"}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// Injector draws the fault schedule of one simulation. Each consumer
+// (channel, controller, monitor) holds its own Fork so the schedule of
+// one component does not depend on how events of another interleave;
+// all forks share one tally of injected faults. Methods are nil-safe:
+// a nil *Injector never fires. Not safe for concurrent use — each
+// simulation builds its own injector and runs single-threaded.
+type Injector struct {
+	plan   Plan
+	rng    *xrand.RNG
+	counts *[NumKinds]int64
+}
+
+// NewInjector builds the root injector of a simulation.
+func NewInjector(p Plan) *Injector {
+	return &Injector{plan: p, rng: xrand.New(mix(p.Seed, 0x5EEDFA17)), counts: new([NumKinds]int64)}
+}
+
+// Fork derives a child injector with an independent draw stream (salted
+// by the caller's identity) sharing the parent's injection tally.
+func (i *Injector) Fork(salt uint64) *Injector {
+	if i == nil {
+		return nil
+	}
+	return &Injector{plan: i.plan, rng: xrand.New(mix(i.plan.Seed, salt)), counts: i.counts}
+}
+
+// mix folds a salt into a seed (splitmix-style odd multiplier).
+func mix(seed, salt uint64) uint64 {
+	return (seed ^ (salt * 0x9E3779B97F4A7C15)) | 1
+}
+
+// Plan returns the injector's plan (zero for a nil injector).
+func (i *Injector) Plan() Plan {
+	if i == nil {
+		return Plan{}
+	}
+	return i.plan
+}
+
+// Fire draws one injection decision for the fault class, tallying fired
+// faults. It never draws from the stream when the class rate is zero, so
+// enabling one class does not perturb another's schedule.
+func (i *Injector) Fire(k Kind) bool {
+	if i == nil {
+		return false
+	}
+	r := i.plan.Rate(k)
+	if r <= 0 {
+		return false
+	}
+	if !i.rng.Bool(r) {
+		return false
+	}
+	i.counts[k]++
+	return true
+}
+
+// Counts returns the shared injection tally (zero for a nil injector).
+func (i *Injector) Counts() [NumKinds]int64 {
+	if i == nil {
+		return [NumKinds]int64{}
+	}
+	return *i.counts
+}
+
+// CorruptByte flips at least one bit of v (never returns v unchanged),
+// modelling metadata corruption.
+func (i *Injector) CorruptByte(v uint8) uint8 {
+	return v ^ uint8(1+i.rng.Intn(255))
+}
+
+// CorruptSF returns an implausible slowdown-factor value: NaN, an
+// infinity, a huge magnitude or a negative, drawn deterministically.
+func (i *Injector) CorruptSF() float64 {
+	switch i.rng.Intn(4) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return 1e12
+	default:
+		return -4
+	}
+}
+
+// Intn draws a uniform int in [0, n) from the injector's stream, for
+// consumers that must pick a deterministic corruption target.
+func (i *Injector) Intn(n int) int {
+	return i.rng.Intn(n)
+}

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("rate=1e-3,sf=0.2,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if p.NVMReadRate != 1e-3 || p.NVMWriteRate != 1e-3 {
+		t.Errorf("rate shorthand: nvm %v/%v", p.NVMReadRate, p.NVMWriteRate)
+	}
+	if p.QACCorruptRate != 1e-3/4 {
+		t.Errorf("rate shorthand: qac %v", p.QACCorruptRate)
+	}
+	if p.StallRate != 1e-3/10 {
+		t.Errorf("rate shorthand: stall %v", p.StallRate)
+	}
+	if p.SFCorruptRate != 0.2 {
+		t.Errorf("sf = %v", p.SFCorruptRate)
+	}
+
+	for _, empty := range []string{"", "  ", "none"} {
+		p, err := ParsePlan(empty)
+		if err != nil || p.Enabled() {
+			t.Errorf("ParsePlan(%q) = %+v, %v; want zero plan", empty, p, err)
+		}
+	}
+
+	for _, bad := range []string{"nvmread", "bogus=1", "nvmread=x", "nvmread=2", "sf=-0.1", "stallcycles=-5", "seed=zz"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPlanStringRoundTrips(t *testing.T) {
+	p, err := ParsePlan("nvmread=0.001,stall=0.01,stallcycles=500,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Errorf("round trip: %+v != %+v", back, p)
+	}
+	if s := (Plan{}).String(); s != "none" {
+		t.Errorf("zero plan renders %q", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Plan{NVMReadRate: 0.5, StallCycles: 100}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	for _, bad := range []Plan{
+		{NVMReadRate: -0.1},
+		{QACCorruptRate: 1.5},
+		{SFCorruptRate: math.NaN()},
+		{StallCycles: -1},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestEnabledAndStallDefault(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan must be disabled")
+	}
+	if !(Plan{SFCorruptRate: 1e-6}).Enabled() {
+		t.Error("any positive rate enables the plan")
+	}
+	if (Plan{Seed: 9, StallCycles: 100}).Enabled() {
+		t.Error("seed and durations alone must not enable injection")
+	}
+	if c := (Plan{}).EffectiveStallCycles(); c != DefaultStallCycles {
+		t.Errorf("default stall cycles = %d", c)
+	}
+	if c := (Plan{StallCycles: 321}).EffectiveStallCycles(); c != 321 {
+		t.Errorf("explicit stall cycles = %d", c)
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if inj.Fire(NVMReadTransient) {
+		t.Error("nil injector fired")
+	}
+	if inj.Fork(7) != nil {
+		t.Error("nil fork should stay nil")
+	}
+	if inj.Counts() != ([NumKinds]int64{}) {
+		t.Error("nil counts should be zero")
+	}
+	if inj.Plan().Enabled() {
+		t.Error("nil plan should be zero")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, NVMReadRate: 0.05, QACCorruptRate: 0.02}
+	schedule := func() []bool {
+		inj := NewInjector(plan)
+		var out []bool
+		for i := 0; i < 10000; i++ {
+			out = append(out, inj.Fire(NVMReadTransient), inj.Fire(QACCorruption))
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZeroRateNeverDrawsFromStream(t *testing.T) {
+	// Enabling a second class must not perturb the first class's schedule:
+	// Fire must not consume stream state for zero-rate classes.
+	run := func(p Plan) []bool {
+		inj := NewInjector(p)
+		var out []bool
+		for i := 0; i < 5000; i++ {
+			inj.Fire(QACCorruption) // zero-rate in the first plan
+			out = append(out, inj.Fire(NVMReadTransient))
+		}
+		return out
+	}
+	a := run(Plan{Seed: 1, NVMReadRate: 0.1})
+	b := run(Plan{Seed: 1, NVMReadRate: 0.1, QACCorruptRate: 0}) // identical
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zero-rate Fire perturbed the stream at draw %d", i)
+		}
+	}
+}
+
+func TestForksIndependentButShareTally(t *testing.T) {
+	plan := Plan{Seed: 5, NVMReadRate: 0.5}
+	root := NewInjector(plan)
+	f1, f2 := root.Fork(1), root.Fork(2)
+
+	// Different salts give different schedules.
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if f1.Fire(NVMReadTransient) == f2.Fire(NVMReadTransient) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("forks with different salts produced identical schedules")
+	}
+
+	// All fired faults land in one shared tally.
+	total := root.Counts()[NVMReadTransient]
+	if total == 0 {
+		t.Fatal("no faults fired at rate 0.5")
+	}
+	if f1.Counts() != root.Counts() || f2.Counts() != root.Counts() {
+		t.Error("forks must share the parent's tally")
+	}
+
+	// A fork's schedule does not depend on how much the sibling drew.
+	g1 := NewInjector(plan).Fork(1)
+	h1 := NewInjector(plan).Fork(1)
+	NewInjector(plan).Fork(2) // unused sibling
+	for i := 0; i < 1000; i++ {
+		if g1.Fire(NVMReadTransient) != h1.Fire(NVMReadTransient) {
+			t.Fatalf("fork schedule not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestCorruptions(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 11, QACCorruptRate: 1})
+	for i := 0; i < 1000; i++ {
+		v := uint8(i)
+		if inj.CorruptByte(v) == v {
+			t.Fatalf("CorruptByte returned %d unchanged", v)
+		}
+	}
+	sawBad := 0
+	for i := 0; i < 1000; i++ {
+		sf := inj.CorruptSF()
+		if math.IsNaN(sf) || math.IsInf(sf, 0) || sf < 0 || sf >= 1e9 {
+			sawBad++
+		}
+	}
+	if sawBad != 1000 {
+		t.Errorf("only %d/1000 corrupted SFs were implausible", sawBad)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"profess/internal/event"
+	"profess/internal/fault"
 	"profess/internal/mem"
 	"profess/internal/stats"
 )
@@ -58,7 +59,22 @@ type ControllerConfig struct {
 	// Swap-group Table misses and dirty evictions (§2.2/§3.2.1). Disabled
 	// only by ablation studies.
 	ModelSTTraffic bool
+
+	// RetryMax bounds how many times a transiently-failed NVM burst is
+	// re-issued before the controller gives up (0 = DefaultRetryMax).
+	RetryMax int
+	// RetryBackoff is the delay before the first re-issue, in cycles;
+	// each further retry doubles it (0 = DefaultRetryBackoff).
+	RetryBackoff int64
 }
+
+// DefaultRetryMax and DefaultRetryBackoff are the §-free engineering
+// defaults of the transient-fault tolerance: up to 3 re-issues, starting
+// 64 cycles after the failed burst and doubling (64, 128, 256).
+const (
+	DefaultRetryMax     = 3
+	DefaultRetryBackoff = 64
+)
 
 // Controller is the hardware memory-side of the simulated system: it owns
 // the channels, the authoritative Swap-group Table, the STCs, and runs the
@@ -87,6 +103,12 @@ type Controller struct {
 	STWrites  int64
 	SwapsDone int64
 
+	// inj, when armed, corrupts QAC values moving through the ST.
+	inj *fault.Injector
+	// Resilience tallies the controller's fault tolerance (retries of
+	// transiently-failed NVM bursts, drops past the retry budget).
+	Resilience stats.Resilience
+
 	// readHist tracks per-core read-latency distributions (64-cycle
 	// buckets up to 16K cycles), for tail-latency reporting.
 	readHist []*stats.Histogram
@@ -103,6 +125,12 @@ func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator,
 	}
 	if l.Slots() > MaxSlots {
 		return nil, fmt.Errorf("hybrid: %d locations per group exceed the hardware bound %d", l.Slots(), MaxSlots)
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
 	}
 	c := &Controller{
 		cfg:       cfg,
@@ -141,6 +169,10 @@ func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator,
 
 // Layout returns the controller's layout.
 func (c *Controller) Layout() Layout { return c.layout }
+
+// SetFaultInjector arms the controller with a fault injector (nil
+// disarms): QAC values moving through the Swap-group Table may corrupt.
+func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
 
 // Policy returns the plugged migration policy.
 func (c *Controller) Policy() Policy { return c.policy }
@@ -229,7 +261,15 @@ func (c *Controller) Submit(core int, origAddr int64, write bool, onDone func(no
 	}
 	c.pendingST[group] = nil
 	fill := func(now int64) {
-		if ev := stc.Insert(group, c.qacAt(group)); ev != nil {
+		qac := c.qacAt(group)
+		if c.inj.Fire(fault.QACCorruption) {
+			// ST metadata corrupted on the fill path: one QAC value of
+			// this entry arrives scrambled (possibly out of range — the
+			// monitoring layer's sanity checks are the defense).
+			s := c.inj.Intn(int(c.slots))
+			qac[s] = c.inj.CorruptByte(qac[s])
+		}
+		if ev := stc.Insert(group, qac); ev != nil {
 			c.handleEviction(chIdx, ev)
 		}
 		e := stc.Peek(group)
@@ -291,19 +331,39 @@ func (c *Controller) serve(core int, group int64, slot int, origAddr int64, writ
 	offset := origAddr % c.layout.BlockBytes
 	geom := c.chans[chIdx].Config().Geom(location.Module)
 	bank, row := geom.Decompose(location.ByteAddr + offset)
-	c.chans[chIdx].Enqueue(&mem.Request{
-		Module: location.Module, Bank: bank, Row: row, IsWrite: write, Core: core,
-		OnDone: func(now int64) {
-			if !write {
-				cs.ReadLat += now - submitAt
-				cs.ReadCount++
-				c.readHist[core].Add(float64(now - submitAt))
+	complete := func(now int64) {
+		if !write {
+			cs.ReadLat += now - submitAt
+			cs.ReadCount++
+			c.readHist[core].Add(float64(now - submitAt))
+		}
+		if onDone != nil {
+			onDone(now, now-submitAt)
+		}
+	}
+	// Transient NVM failures are retried with bounded exponential backoff;
+	// the observed latency then includes every failed attempt. Past the
+	// retry budget the burst is dropped — counted, and completed so the
+	// pipeline does not wedge (the simulated data is synthetic anyway).
+	attempt := 0
+	var issue func()
+	issue = func() {
+		req := &mem.Request{Module: location.Module, Bank: bank, Row: row, IsWrite: write, Core: core}
+		req.OnDone = func(now int64) {
+			if req.Faulted && attempt < c.cfg.RetryMax {
+				attempt++
+				c.Resilience.Retries++
+				c.sched.After(c.cfg.RetryBackoff<<(attempt-1), func(int64) { issue() })
+				return
 			}
-			if onDone != nil {
-				onDone(now, now-submitAt)
+			if req.Faulted {
+				c.Resilience.Drops++
 			}
-		},
-	})
+			complete(now)
+		}
+		c.chans[chIdx].Enqueue(req)
+	}
+	issue()
 }
 
 // handleEviction persists QAC updates, feeds MDM statistics, and issues
@@ -311,6 +371,11 @@ func (c *Controller) serve(core int, group int64, slot int, origAddr int64, writ
 func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
 	for _, b := range ev.Blocks {
 		qE := QuantizeCount(b.Count)
+		if c.inj.Fire(fault.QACCorruption) {
+			// ST metadata corrupted on the writeback path: the persisted
+			// QAC and the statistics update both see the scrambled value.
+			qE = c.inj.CorruptByte(qE)
+		}
 		c.qac[ev.Group*c.slots+int64(b.Slot)] = qE
 		owner := c.alloc.Owner(ev.Group, b.Slot)
 		if owner >= 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"profess/internal/event"
+	"profess/internal/fault"
 )
 
 // ChannelConfig describes one memory channel: an M1 module and an M2 module
@@ -85,6 +86,7 @@ type bank struct {
 type Channel struct {
 	cfg   ChannelConfig
 	sched event.Scheduler
+	inj   *fault.Injector
 
 	banks        [2][]bank
 	busFreeAt    int64
@@ -121,6 +123,11 @@ func NewChannel(cfg ChannelConfig, sched event.Scheduler) *Channel {
 // Config returns the channel's configuration.
 func (ch *Channel) Config() ChannelConfig { return ch.cfg }
 
+// SetFaultInjector arms the channel with a fault injector (nil disarms).
+// The channel draws NVM transient failures per M2 demand burst and stall
+// episodes per enqueue.
+func (ch *Channel) SetFaultInjector(inj *fault.Injector) { ch.inj = inj }
+
 // QueueLen returns the number of requests waiting (not yet issued to banks).
 func (ch *Channel) QueueLen() int { return len(ch.queue) }
 
@@ -142,6 +149,14 @@ func (ch *Channel) Enqueue(r *Request) {
 	ch.queue = append(ch.queue, r)
 	ch.queueDepthSum += int64(len(ch.queue))
 	ch.queueSamples++
+	if ch.inj.Fire(fault.ChannelStall) {
+		// A stall episode wedges the scheduler: nothing dispatches until
+		// it clears. In-flight bursts complete normally.
+		end := now + ch.inj.Plan().EffectiveStallCycles()
+		if end > ch.blockedUntil {
+			ch.blockedUntil = end
+		}
+	}
 	ch.tryDispatch(now)
 }
 
@@ -248,6 +263,15 @@ func (ch *Channel) issue(now int64, r *Request) {
 		ch.Counts.Reads[k]++
 	}
 	b.inflight = true
+	// NVM transients: an M2 demand burst may fail after paying its full
+	// timing; the submitter sees Faulted and decides whether to retry.
+	if r.Module == M2 && r.Core >= 0 {
+		if r.IsWrite {
+			r.Faulted = ch.inj.Fire(fault.NVMWriteTransient)
+		} else {
+			r.Faulted = ch.inj.Fire(fault.NVMReadTransient)
+		}
+	}
 	ch.sched.At(done, func(tNow int64) {
 		b.inflight = false
 		if r.OnDone != nil {

@@ -18,6 +18,11 @@ type Request struct {
 	// completes. now is the completion cycle.
 	OnDone func(now int64)
 
+	// Faulted is set by the channel (before OnDone fires) when a fault
+	// injector failed this burst: the timing was paid but the data is
+	// unusable, and the submitter decides whether to retry.
+	Faulted bool
+
 	// internal scheduling state
 	seq int64 // FIFO tiebreak
 }

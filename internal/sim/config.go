@@ -8,6 +8,7 @@ import (
 
 	"profess/internal/cpu"
 	"profess/internal/energy"
+	"profess/internal/fault"
 )
 
 // Config describes one simulated system. All capacities are bytes.
@@ -44,6 +45,10 @@ type Config struct {
 	// M2TWRFactor scales M2's write-recovery latency for the §5.2
 	// sensitivity study (1.0 = Table 8's t_WR_M2 = 275 ns).
 	M2TWRFactor float64
+
+	// Faults is the fault-injection plan. The zero plan wires no injector
+	// and the simulation stays bit-identical to a fault-free build.
+	Faults fault.Plan
 
 	Energy energy.Model
 }
@@ -142,6 +147,9 @@ func (c Config) Validate() error {
 	}
 	if c.Regions <= c.Cores {
 		return fmt.Errorf("sim: %d regions cannot host %d private regions plus shared ones", c.Regions, c.Cores)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

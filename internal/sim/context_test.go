@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := tinyConfig(4)
+	cfg.Instructions = 50_000_000 // far more than the deadline allows
+	specs, err := SpecsForWorkload(mustWorkload(t, "w02"), PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must abort at the first check
+	if _, err := RunContext(ctx, cfg, specs, SchemeMDM); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer dcancel()
+	start := time.Now()
+	if _, err := RunContext(dctx, cfg, specs, SchemeMDM); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadlined run returned %v, want context.DeadlineExceeded", err)
+	}
+	// The deadline must cut the run short well before the huge instruction
+	// budget completes (allow generous slack for slow machines).
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("deadlined run took %v", elapsed)
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinyConfig(4)
+	specs, err := SpecsForWorkload(mustWorkload(t, "w02"), PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContext(context.Background(), cfg, specs, SchemeMDM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles simulated")
+	}
+}

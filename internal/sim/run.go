@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"profess/internal/cache"
 	"profess/internal/cpu"
 	"profess/internal/event"
+	"profess/internal/fault"
 	"profess/internal/hybrid"
 	"profess/internal/mem"
+	"profess/internal/stats"
 	"profess/internal/trace"
 	"profess/internal/workload"
 )
@@ -104,6 +107,9 @@ type Result struct {
 	SwapFraction float64
 	L3HitRate    float64
 	TimedOut     bool
+	// Resilience tallies fault injection and graceful degradation; zero
+	// for a fault-free run.
+	Resilience stats.Resilience
 }
 
 // IPCs returns the per-core IPC vector.
@@ -156,7 +162,9 @@ type System struct {
 	Cores  []*cpu.Core
 	Front  *l3Frontend
 	Policy hybrid.Policy
-	specs  []ProgramSpec
+	// Inj is the root fault injector; nil unless Cfg.Faults is enabled.
+	Inj   *fault.Injector
+	specs []ProgramSpec
 	// coreProg maps a hardware core (thread) to its program index; all
 	// threads of one program share counters, regions and statistics.
 	coreProg []int
@@ -207,6 +215,22 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 		return nil, err
 	}
 
+	// Fault injection: only an enabled plan wires an injector, so the zero
+	// plan stays bit-identical to a fault-free build. Each consumer gets
+	// its own salted fork: per-component schedules then do not depend on
+	// how the events of other components interleave.
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		inj = fault.NewInjector(cfg.Faults)
+		for i, ch := range chans {
+			ch.SetFaultInjector(inj.Fork(uint64(i + 1)))
+		}
+		ctl.SetFaultInjector(inj.Fork(0x100))
+		if fp, ok := policy.(interface{ SetFaultInjector(*fault.Injector) }); ok {
+			fp.SetFaultInjector(inj.Fork(0x200))
+		}
+	}
+
 	l3 := cache.New(cache.ConfigForCapacity(cfg.L3Capacity, cfg.L3Ways))
 	front := &l3Frontend{
 		l3: l3, hitLat: cfg.L3HitLatency, ctl: ctl, sched: q,
@@ -214,7 +238,7 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 		perCoreMisses: make([]int64, len(specs)),
 	}
 
-	sys := &System{Cfg: cfg, Queue: q, Ctl: ctl, Alloc: alloc, L3: l3, Front: front, Policy: policy, specs: specs}
+	sys := &System{Cfg: cfg, Queue: q, Ctl: ctl, Alloc: alloc, L3: l3, Front: front, Policy: policy, Inj: inj, specs: specs}
 	for i, spec := range specs {
 		if spec.Source != nil {
 			if spec.threads() > 1 {
@@ -257,10 +281,26 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 	return sys, nil
 }
 
+// watchdogCheckEvents is how often (in processed events) RunContext polls
+// the context and the no-progress watchdog; watchdogStaleChecks is how
+// many consecutive checks may observe a frozen clock before the run is
+// declared wedged (~1M events at the same cycle).
+const (
+	watchdogCheckEvents = 16384
+	watchdogStaleChecks = 64
+)
+
 // Run executes until every program completed its first run (repeating
 // faster programs to keep competition alive, per §4.2), then gathers the
 // results.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run honouring the context's deadline/cancellation, both
+// checked periodically inside the event loop, plus a no-progress watchdog:
+// a simulation that burns events without ever advancing the clock (a bug
+// or a pathological fault plan) is aborted with an error instead of
+// spinning forever.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	threadsLeft := make([]int, len(s.specs))
 	for _, p := range s.coreProg {
 		threadsLeft[p]++
@@ -276,6 +316,12 @@ func (s *System) Run() (*Result, error) {
 		})
 	}
 	timedOut := false
+	var (
+		events  int64
+		lastNow int64 = -1
+		stale   int
+		runErr  error
+	)
 	s.Queue.RunUntil(func() bool {
 		if remaining <= 0 {
 			return true
@@ -284,10 +330,31 @@ func (s *System) Run() (*Result, error) {
 			timedOut = true
 			return true
 		}
+		events++
+		if events%watchdogCheckEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				runErr = fmt.Errorf("sim: aborted at cycle %d: %w", s.Queue.Now(), err)
+				return true
+			}
+			if now := s.Queue.Now(); now == lastNow {
+				stale++
+				if stale >= watchdogStaleChecks {
+					runErr = fmt.Errorf("sim: no progress: %d events without advancing past cycle %d",
+						int64(stale)*watchdogCheckEvents, now)
+					return true
+				}
+			} else {
+				lastNow = now
+				stale = 0
+			}
+		}
 		return false
 	})
 	for _, c := range s.Cores {
 		c.Stop()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	s.Ctl.FlushSTCs()
 
@@ -311,6 +378,20 @@ func (s *System) Run() (*Result, error) {
 	rep := s.Cfg.Energy.Evaluate(res.Counts, cycles, s.Cfg.Channels)
 	res.EnergyEff = rep.Efficiency()
 	res.Watts = rep.Watts()
+
+	res.Resilience = s.Ctl.Resilience
+	if s.Inj != nil {
+		counts := s.Inj.Counts()
+		res.Resilience.InjectedNVMReadFaults = counts[fault.NVMReadTransient]
+		res.Resilience.InjectedNVMWriteFaults = counts[fault.NVMWriteTransient]
+		res.Resilience.InjectedStalls = counts[fault.ChannelStall]
+		res.Resilience.InjectedStallCycles = counts[fault.ChannelStall] * s.Inj.Plan().EffectiveStallCycles()
+		res.Resilience.InjectedQACCorruptions = counts[fault.QACCorruption]
+		res.Resilience.InjectedSFCorruptions = counts[fault.SFCorruption]
+	}
+	if rp, ok := s.Policy.(interface{ ResilienceStats() stats.Resilience }); ok {
+		res.Resilience.Add(rp.ResilienceStats())
+	}
 
 	for i, spec := range s.specs {
 		// Aggregate the program's threads (§3.1.1: they are one program).
@@ -359,6 +440,11 @@ func (s *System) Run() (*Result, error) {
 
 // Run builds and runs a system in one call.
 func Run(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	return RunContext(context.Background(), cfg, specs, scheme)
+}
+
+// RunContext builds and runs a system in one call, honouring the context.
+func RunContext(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 	policy, err := NewPolicy(scheme, len(specs), cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -367,5 +453,5 @@ func Run(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }

@@ -2,8 +2,6 @@ package sim
 
 import (
 	"testing"
-
-	"profess/internal/workload"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -97,7 +95,7 @@ func TestSchemeFactory(t *testing.T) {
 }
 
 func TestSpecsForWorkload(t *testing.T) {
-	specs, err := SpecsForWorkload(workload.MustWorkload("w16"), PaperScale)
+	specs, err := SpecsForWorkload(mustWorkload(t, "w16"), PaperScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +254,7 @@ func TestMultiProgramAccounting(t *testing.T) {
 	}
 	cfg := tinyConfig(4)
 	cfg.Instructions = 100_000
-	specs, err := SpecsForWorkload(workload.MustWorkload("w02"), PaperScale)
+	specs, err := SpecsForWorkload(mustWorkload(t, "w02"), PaperScale)
 	if err != nil {
 		t.Fatal(err)
 	}

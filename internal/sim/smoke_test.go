@@ -6,6 +6,16 @@ import (
 	"profess/internal/workload"
 )
 
+// mustWorkload resolves a Table 10 mix or fails the test.
+func mustWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 // tinyConfig returns a fast configuration for unit tests: the 1/32-scale
 // system with a much smaller instruction budget.
 func tinyConfig(cores int) Config {
@@ -48,7 +58,7 @@ func TestSmokeWorkload(t *testing.T) {
 		t.Skip("multi-program smoke is not short")
 	}
 	cfg := tinyConfig(4)
-	specs, err := SpecsForWorkload(workload.MustWorkload("w09"), PaperScale)
+	specs, err := SpecsForWorkload(mustWorkload(t, "w09"), PaperScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package stats
+
+// Resilience tallies the fault-injection and graceful-degradation
+// activity of one simulation: what was injected (by internal/fault),
+// how the memory controller coped (retries, drops, stalls) and how the
+// monitoring hardware degraded and recovered (internal/core). The zero
+// value means a fault-free run.
+type Resilience struct {
+	// Injected fault counts, mirrored from the fault injector's tally.
+	InjectedNVMReadFaults  int64
+	InjectedNVMWriteFaults int64
+	InjectedStalls         int64
+	InjectedStallCycles    int64
+	InjectedQACCorruptions int64
+	InjectedSFCorruptions  int64
+
+	// Controller-side tolerance of NVM transients.
+	Retries int64 // faulted bursts re-issued after backoff
+	Drops   int64 // bursts that exhausted the retry budget
+
+	// Monitoring-side degradation.
+	CorruptQACUpdates int64 // MDM statistics updates rejected as corrupt
+	ImplausibleSFs    int64 // RSM slowdown factors rejected by sanity checks
+	DegradedEntries   int64 // times monitoring entered degraded mode
+	DegradedCycles    int64 // cycles spent with degraded decision-making
+	DegradedDecisions int64 // accesses decided by the fallback policy
+}
+
+// Add accumulates other into r.
+func (r *Resilience) Add(other Resilience) {
+	r.InjectedNVMReadFaults += other.InjectedNVMReadFaults
+	r.InjectedNVMWriteFaults += other.InjectedNVMWriteFaults
+	r.InjectedStalls += other.InjectedStalls
+	r.InjectedStallCycles += other.InjectedStallCycles
+	r.InjectedQACCorruptions += other.InjectedQACCorruptions
+	r.InjectedSFCorruptions += other.InjectedSFCorruptions
+	r.Retries += other.Retries
+	r.Drops += other.Drops
+	r.CorruptQACUpdates += other.CorruptQACUpdates
+	r.ImplausibleSFs += other.ImplausibleSFs
+	r.DegradedEntries += other.DegradedEntries
+	r.DegradedCycles += other.DegradedCycles
+	r.DegradedDecisions += other.DegradedDecisions
+}
+
+// Any reports whether any fault or degradation activity was recorded.
+func (r Resilience) Any() bool {
+	return r != Resilience{}
+}

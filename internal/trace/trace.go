@@ -138,16 +138,6 @@ func NewGenerator(p Params) (*Generator, error) {
 	return g, nil
 }
 
-// MustNewGenerator is NewGenerator that panics on error (for tables of
-// known-good profiles).
-func MustNewGenerator(p Params) *Generator {
-	g, err := NewGenerator(p)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // Params returns the generator's parameters.
 func (g *Generator) Params() Params { return g.p }
 

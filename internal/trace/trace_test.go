@@ -5,6 +5,16 @@ import (
 	"testing/quick"
 )
 
+// MustNewGenerator is the test-only convenience for tables of known-good
+// parameters; library code returns errors instead of panicking.
+func MustNewGenerator(p Params) *Generator {
+	g, err := NewGenerator(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 func baseParams(pattern Pattern) Params {
 	return Params{
 		Name:      "test",

@@ -85,15 +85,6 @@ func ProgramByName(name string) (Program, error) {
 	return Program{}, fmt.Errorf("workload: unknown program %q", name)
 }
 
-// MustProgram is ProgramByName that panics on error.
-func MustProgram(name string) Program {
-	p, err := ProgramByName(name)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // gapFromMPKI converts a Table 9 L3 MPKI into the generator's mean
 // instruction gap between L2-miss references. The generator operates one
 // level above the simulated L3, which filters roughly a quarter of the
@@ -178,15 +169,6 @@ func WorkloadByName(name string) (Workload, error) {
 		}
 	}
 	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
-}
-
-// MustWorkload is WorkloadByName that panics on error.
-func MustWorkload(name string) Workload {
-	w, err := WorkloadByName(name)
-	if err != nil {
-		panic(err)
-	}
-	return w
 }
 
 // Seed derives a deterministic generator seed for program instance i of a

@@ -6,6 +6,24 @@ import (
 	"profess/internal/trace"
 )
 
+// MustProgram / MustWorkload are test-only conveniences for the
+// known-good catalogue; library code returns errors instead of panicking.
+func MustProgram(name string) Program {
+	p, err := ProgramByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func MustWorkload(name string) Workload {
+	w, err := WorkloadByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // table9 is the ground truth from the paper.
 var table9 = map[string]struct {
 	mpki float64

@@ -55,6 +55,9 @@ func NewBaselineCache() *BaselineCache {
 }
 
 // key folds the configuration parameters that affect stand-alone IPC.
+// Fault plans are deliberately absent: AloneIPC strips them, so every
+// entry is a fault-free measurement and faulty/clean configurations share
+// (rather than collide on) the same clean baseline.
 func (b *BaselineCache) key(program string, cfg Config) string {
 	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%d|%v|%v",
 		program, cfg.Cores, cfg.Channels, cfg.M1Capacity, cfg.M2Slots,
@@ -65,7 +68,11 @@ func (b *BaselineCache) key(program string, cfg Config) string {
 // running it (under ProFess-free, plain-PoM-free conditions: the scheme
 // only matters under contention, but the paper measures IPC_SP under the
 // same management as the workload run, so the scheme is a parameter).
+// The stand-alone run is always fault-free: eq. 1's reference point is
+// the healthy machine, so injected faults show up as extra slowdown
+// rather than silently rescaling both sides of the ratio.
 func (b *BaselineCache) AloneIPC(program string, scheme Scheme, cfg Config) (float64, error) {
+	cfg.Faults = FaultPlan{}
 	k := string(scheme) + "|" + b.key(program, cfg)
 	b.mu.Lock()
 	if v, ok := b.cache[k]; ok {

@@ -30,8 +30,10 @@
 package profess
 
 import (
+	"profess/internal/fault"
 	"profess/internal/hybrid"
 	"profess/internal/sim"
+	"profess/internal/stats"
 	"profess/internal/workload"
 )
 
@@ -53,7 +55,19 @@ type (
 	Workload = workload.Workload
 	// Program is one Table 9 program profile.
 	Program = workload.Program
+	// FaultPlan configures deterministic fault injection (per-class rates
+	// plus a schedule seed); the zero value injects nothing and keeps the
+	// simulation bit-identical to a fault-free build.
+	FaultPlan = fault.Plan
+	// Resilience tallies injected faults and the simulator's graceful
+	// degradation (Result.Resilience).
+	Resilience = stats.Resilience
 )
+
+// ParseFaultPlan parses the -faults flag syntax
+// ("key=value,...": seed, nvmread, nvmwrite, stall, stallcycles, qac, sf,
+// or the one-knob shorthand "rate=<p>").
+func ParseFaultPlan(s string) (FaultPlan, error) { return fault.ParsePlan(s) }
 
 // The available migration schemes.
 const (
