@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench quick
+# Minimum total test coverage (percent) enforced by `make cover`.
+COVER_MIN ?= 70
+
+# How long each fuzz target runs in `make fuzz-smoke`.
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test test-race bench quick cover fuzz-smoke
 
 check: vet build test-race
 
@@ -26,3 +32,20 @@ quick:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# cover fails the build when total statement coverage drops under COVER_MIN.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) ' \
+		/^total:/ { sub(/%/, "", $$3); total = $$3 } \
+		END { \
+			printf "total coverage: %.1f%% (minimum %s%%)\n", total, min; \
+			if (total + 0 < min + 0) { print "coverage below minimum"; exit 1 } \
+		}'
+
+# fuzz-smoke gives each fuzz target a short budget — enough to catch
+# regressions on the checked-in seeds plus a little exploration.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzParsePlan -fuzztime=$(FUZZTIME) ./internal/fault

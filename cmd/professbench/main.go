@@ -10,8 +10,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug: profiling endpoints on the debug server
 	"os"
 	"strings"
 
@@ -104,6 +107,12 @@ type stringer string
 
 func (s stringer) String() string { return string(s) }
 
+// Progress counters for the -debug expvar endpoint (/debug/vars).
+var (
+	expvarCurrent   = expvar.NewString("professbench.current_experiment")
+	expvarCompleted = expvar.NewInt("professbench.experiments_completed")
+)
+
 func main() {
 	var (
 		exp   = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
@@ -113,9 +122,22 @@ func main() {
 		progs = flag.String("programs", "", "restrict programs (comma separated)")
 		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csv   = flag.Bool("csv", false, "emit CSV instead of tables where supported")
+		debug = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
 		list  = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		go func() {
+			// DefaultServeMux carries both /debug/pprof/* (imported above)
+			// and /debug/vars (expvar); a long "all" run can then be
+			// profiled and watched live.
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "professbench: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "professbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", *debug)
+	}
 
 	exps := experiments()
 	if *list || *exp == "" {
@@ -159,11 +181,13 @@ func main() {
 		}
 		ranAbout[e.about] = true
 		fmt.Printf("==== %s: %s ====\n", e.id, e.about)
+		expvarCurrent.Set(e.id)
 		rep, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "professbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		expvarCompleted.Add(1)
 		if *csv {
 			if c, ok := rep.(profess.CSVer); ok {
 				fmt.Println(c.CSV())

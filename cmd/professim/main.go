@@ -8,12 +8,14 @@
 //	professim -workload w09 -scheme profess -instr 2000000
 //	professim -workload w09 -schemes pom,mdm,profess
 //	professim -workload w09 -scheme profess -faults rate=1e-4,seed=7
+//	professim -program mcf -scheme profess -telemetry mcf.jsonl -epoch 25000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"profess"
@@ -33,6 +35,8 @@ func main() {
 		baseline = flag.Bool("baselines", true, "for workloads: run stand-alone baselines and report slowdowns")
 		threads  = flag.Int("threads", 1, "for -program: run it multi-threaded (§3.1.1)")
 		faults   = flag.String("faults", "", "fault-injection plan: key=value,... (seed, nvmread, nvmwrite, stall, stallcycles, qac, sf) or the shorthand rate=<p>")
+		telePath = flag.String("telemetry", "", "export per-epoch telemetry to this file (.csv for CSV, JSONL otherwise; a .manifest.json rides along)")
+		epoch    = flag.Int64("epoch", 10_000, "telemetry epoch length in CPU cycles (with -telemetry)")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
 		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
 	)
@@ -74,15 +78,78 @@ func main() {
 		fatal(err)
 	}
 	cfg.Faults = plan
+	if *telePath != "" {
+		cfg.TelemetryEvery = *epoch
+	}
 
 	if *program != "" {
-		runSingle(*program, schemeList, cfg, *threads, *jsonOut)
+		runSingle(*program, schemeList, cfg, *threads, *jsonOut, *telePath)
 		return
 	}
-	runWorkload(*mix, schemeList, cfg, *baseline)
+	runWorkload(*mix, schemeList, cfg, *baseline, *telePath)
 }
 
-func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, threads int, jsonOut bool) {
+// telemetryPath derives the per-scheme export file: with several schemes
+// the scheme name is inserted before the extension so each run keeps its
+// own trace.
+func telemetryPath(path string, scheme profess.Scheme, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + string(scheme) + ext
+}
+
+// exportTelemetry writes the run's epochs (CSV when the extension says so,
+// JSONL otherwise) plus the run manifest alongside.
+func exportTelemetry(path string, scheme profess.Scheme, res *profess.Result, cfg profess.Config) {
+	if path == "" || res.Telemetry == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = res.Telemetry.WriteCSV(f)
+	} else {
+		err = res.Telemetry.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m := profess.NewTelemetryManifest()
+	m.Scheme = string(scheme)
+	m.Seed = cfg.Seed
+	m.Scale = cfg.Scale
+	m.Instructions = cfg.Instructions
+	m.EpochCycles = cfg.TelemetryEvery
+	for _, c := range res.PerCore {
+		m.Programs = append(m.Programs, c.Program)
+	}
+	if cfg.Faults.Enabled() {
+		m.Faults = cfg.Faults.String()
+	}
+	mpath := strings.TrimSuffix(path, filepath.Ext(path)) + ".manifest.json"
+	mf, err := os.Create(mpath)
+	if err != nil {
+		fatal(err)
+	}
+	err = m.WriteJSON(mf)
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: %d epochs to %s (manifest %s)\n", res.Telemetry.Len(), path, mpath)
+}
+
+func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, threads int, jsonOut bool, telePath string) {
 	spec, err := profess.SpecFor(program, cfg)
 	if err != nil {
 		fatal(err)
@@ -95,6 +162,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 		if err != nil {
 			fatal(err)
 		}
+		exportTelemetry(telemetryPath(telePath, s, len(schemes) > 1), s, res, cfg)
 		if jsonOut {
 			out, err := profess.ResultJSON(res)
 			if err != nil {
@@ -118,7 +186,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 	}
 }
 
-func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, baselines bool) {
+func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, baselines bool, telePath string) {
 	cache := profess.NewBaselineCache()
 	fmt.Printf("workload %s (%d instructions per program, scale %.4f)\n\n", name, cfg.Instructions, cfg.Scale)
 	for _, s := range schemes {
@@ -127,6 +195,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 			if err != nil {
 				fatal(err)
 			}
+			exportTelemetry(telemetryPath(telePath, s, len(schemes) > 1), s, res, cfg)
 			t := stats.NewTable("program", "IPC", "M1 frac", "repeats")
 			for _, c := range res.PerCore {
 				t.AddRowf(c.Program, c.IPC, c.M1Fraction, c.Repeats)
@@ -140,6 +209,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 		if err != nil {
 			fatal(err)
 		}
+		exportTelemetry(telemetryPath(telePath, s, len(schemes) > 1), s, wr.Result, cfg)
 		t := stats.NewTable("program", "IPC", "IPC alone", "slowdown", "M1 frac")
 		for i, c := range wr.Result.PerCore {
 			t.AddRowf(c.Program, c.FirstIPC, wr.AloneIPC[i], wr.Slowdowns[i], c.M1Fraction)

@@ -8,12 +8,15 @@
 //	professtrace -record mcf -n 200000 -out mcf.pftr
 //	professtrace -stats mcf.pftr
 //	professtrace -replay mcf.pftr -scheme mdm -instr 1000000
+//	professtrace -replay mcf.pftr -scheme mdm -telemetry mcf.jsonl -epoch 25000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"profess"
 	"profess/internal/sim"
@@ -30,6 +33,8 @@ func main() {
 		scheme = flag.String("scheme", "mdm", "migration scheme for -replay")
 		instr  = flag.Int64("instr", 1_000_000, "instruction budget for -replay")
 		scale  = flag.Float64("scale", profess.PaperScale, "capacity scale")
+		tele   = flag.String("telemetry", "", "for -replay: export per-epoch telemetry to this file (.csv for CSV, JSONL otherwise; a .manifest.json rides along)")
+		epoch  = flag.Int64("epoch", 10_000, "telemetry epoch length in CPU cycles (with -telemetry)")
 	)
 	flag.Parse()
 
@@ -42,7 +47,7 @@ func main() {
 	case *stats != "":
 		doStats(*stats)
 	case *replay != "":
-		doReplay(*replay, *scheme, *instr, *scale)
+		doReplay(*replay, *scheme, *instr, *scale, *tele, *epoch)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -101,18 +106,68 @@ func doStats(path string) {
 	fmt.Printf("  2-KB blocks touched  %d (max refs to one block: %d)\n", len(blocks), maxReuse)
 }
 
-func doReplay(path, scheme string, instr int64, scale float64) {
+func doReplay(path, scheme string, instr int64, scale float64, tele string, epoch int64) {
 	rp := load(path)
 	cfg := profess.SingleCoreConfig(scale)
 	cfg.Instructions = instr
+	if tele != "" {
+		cfg.TelemetryEvery = epoch
+	}
 	spec := profess.ProgramSpec{Name: rp.Params().Name, Params: rp.Params(), Source: rp}
 	res, err := profess.RunSpecs([]profess.ProgramSpec{spec}, profess.Scheme(scheme), cfg)
 	if err != nil {
 		fatal(err)
 	}
+	exportTelemetry(tele, path, scheme, res, cfg)
 	c := res.PerCore[0]
 	fmt.Printf("replayed %s under %s: IPC %.3f, M1-served %.1f%%, STC hit %.1f%%, swaps %d\n",
 		path, scheme, c.IPC, 100*c.M1Fraction, 100*c.STCHitRate, c.Swaps)
+}
+
+// exportTelemetry writes the replay's epochs (CSV when the extension says
+// so, JSONL otherwise) plus a manifest recording the replayed capture.
+func exportTelemetry(out, tracePath, scheme string, res *profess.Result, cfg profess.Config) {
+	if out == "" || res.Telemetry == nil {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if filepath.Ext(out) == ".csv" {
+		err = res.Telemetry.WriteCSV(f)
+	} else {
+		err = res.Telemetry.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	m := profess.NewTelemetryManifest()
+	m.Scheme = scheme
+	m.Seed = cfg.Seed
+	m.Scale = cfg.Scale
+	m.Instructions = cfg.Instructions
+	m.EpochCycles = cfg.TelemetryEvery
+	for _, c := range res.PerCore {
+		m.Programs = append(m.Programs, c.Program)
+	}
+	m.Extra = map[string]string{"trace": tracePath}
+	mpath := strings.TrimSuffix(out, filepath.Ext(out)) + ".manifest.json"
+	mf, err := os.Create(mpath)
+	if err != nil {
+		fatal(err)
+	}
+	err = m.WriteJSON(mf)
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: %d epochs to %s (manifest %s)\n", res.Telemetry.Len(), out, mpath)
 }
 
 func load(path string) *trace.Replayer {

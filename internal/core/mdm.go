@@ -5,6 +5,7 @@ import (
 
 	"profess/internal/hybrid"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 )
 
 // MDMConfig parameterises the Migration-Decision Mechanism.
@@ -115,6 +116,16 @@ func NewMDM(cfg MDMConfig) (*MDM, error) {
 	if cfg.WriteWeight <= 0 {
 		cfg.WriteWeight = 1
 	}
+	if cfg.InitialExpCnt <= 0 {
+		// An unseeded exp_cnt would predict zero remaining accesses for
+		// every block until the first estimation phase completes, freezing
+		// all promotions; default to the optimistic 2 x MinBenefit so the
+		// cold-start prediction is always strictly positive.
+		cfg.InitialExpCnt = 2 * cfg.MinBenefit
+		if cfg.InitialExpCnt <= 0 {
+			cfg.InitialExpCnt = 1
+		}
+	}
 	m := &MDM{cfg: cfg, progs: make([]mdmProgram, cfg.NumPrograms)}
 	for i := range m.progs {
 		p := &m.progs[i]
@@ -142,10 +153,13 @@ func (m *MDM) OnSTCEvict(core int, qI, qE uint8, count uint32) {
 		return
 	}
 	p := &m.progs[core]
-	if qI >= hybrid.NumQI || qE > hybrid.NumQE || count > hybrid.CounterMax {
+	if qI >= hybrid.NumQI || qE > hybrid.NumQE || count == 0 || count > hybrid.CounterMax {
 		// Sanity check: legitimate hardware can only deliver q_I in
-		// [0, NumQI), q_E in [1, NumQE] and counts up to the 6-bit
-		// saturation value. Anything else is corrupt ST metadata — reject
+		// [0, NumQI), q_E in [1, NumQE] and counts in [1, CounterMax] —
+		// a zero count quantizes to q_E = 0, which never reaches this
+		// point, so (q_E >= 1, count = 0) is inconsistent metadata; it
+		// would also pollute eq. 6 with zero-count residencies and drag
+		// exp_cnt toward zero. Anything else is corrupt ST metadata — reject
 		// the update, discard the phase it may have polluted, and degrade
 		// the program to competing-counter decisions until a full
 		// observation phase completes on clean updates.
@@ -359,6 +373,29 @@ func (m *MDM) fallbackAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 			g.candidate = -1
 			g.counter = 0
 		}
+	}
+}
+
+// RegisterTelemetry registers the mechanism's signals with a per-epoch
+// sampler: the swap accept/reject tallies, the registered exp_cnt tables
+// (one gauge per program and q_I), and the degradation counters.
+func (m *MDM) RegisterTelemetry(s *telemetry.Sampler) {
+	s.Counter("mdm.considered", func() int64 { return m.Considered })
+	s.Counter("mdm.approved", func() int64 { return m.Approved })
+	s.Counter("mdm.rejected", func() int64 { return m.Considered - m.Approved })
+	s.Counter("mdm.corrupt_updates", func() int64 { return m.CorruptUpdates })
+	s.Counter("mdm.fallback_decisions", func() int64 { return m.DegradedDecisions })
+	for i := range m.progs {
+		i := i
+		for q := 0; q < hybrid.NumQI; q++ {
+			q := q
+			s.Gauge(fmt.Sprintf("p%d.expcnt.q%d", i, q), func(int64) float64 {
+				return m.progs[i].expCnt[q]
+			})
+		}
+		s.Counter(fmt.Sprintf("p%d.mdm_recomputes", i), func() int64 {
+			return m.progs[i].Recomputations
+		})
 	}
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"profess/internal/hybrid"
+)
+
+// checkExpCntPositive asserts the eq. 5-7 invariant the migration decision
+// relies on: every registered exp_cnt is strictly positive and finite. A
+// zero or negative estimate would freeze promotions for that q_I class; an
+// infinite or NaN one would approve every swap.
+func checkExpCntPositive(t *testing.T, m *MDM, core int, context string) {
+	t.Helper()
+	for q := uint8(0); q < hybrid.NumQI; q++ {
+		e := m.ExpCnt(core, q)
+		if !(e > 0) || math.IsInf(e, 0) || math.IsNaN(e) {
+			t.Fatalf("%s: ExpCnt(%d, q%d) = %v, want strictly positive finite", context, core, q, e)
+		}
+	}
+}
+
+// TestMDMExpCntColdStart: before any statistics exist — including a config
+// that leaves both InitialExpCnt and MinBenefit unset — the cold-start
+// estimates must already be strictly positive and finite.
+func TestMDMExpCntColdStart(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MDMConfig
+	}{
+		{"default", DefaultMDMConfig(2)},
+		{"unset-initial", MDMConfig{NumPrograms: 2, MinBenefit: 8, PhaseUpdates: 10, RecomputeEvery: 5, WriteWeight: 8}},
+		{"all-zero-knobs", MDMConfig{NumPrograms: 1, PhaseUpdates: 10, RecomputeEvery: 5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := NewMDM(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for core := 0; core < c.cfg.NumPrograms; core++ {
+				checkExpCntPositive(t, m, core, "cold start")
+			}
+		})
+	}
+}
+
+// TestMDMExpCntAlwaysPositive drives random but valid Table 6 update
+// sequences — spanning many observation/estimation phase transitions and
+// recomputations — and checks the positivity invariant after every single
+// update. Short phases make the recompute paths (including Laplace
+// smoothing over transitions that were never observed) fire thousands of
+// times.
+func TestMDMExpCntAlwaysPositive(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultMDMConfig(2)
+		cfg.PhaseUpdates = 16
+		cfg.RecomputeEvery = 4
+		m, err := NewMDM(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			core := rng.Intn(cfg.NumPrograms)
+			// Valid hardware-deliverable update: q_I in [0, NumQI),
+			// q_E in [1, NumQE], count in [1, CounterMax]. Skew toward a
+			// single q_E class sometimes, so whole phases complete having
+			// never observed the other classes (the smoothing-only rows).
+			qE := uint8(1 + rng.Intn(hybrid.NumQE))
+			if rng.Intn(4) == 0 {
+				qE = 1
+			}
+			qI := uint8(rng.Intn(hybrid.NumQI))
+			count := uint32(1 + rng.Intn(hybrid.CounterMax))
+			m.OnSTCEvict(core, qI, qE, count)
+			checkExpCntPositive(t, m, core, "after valid update")
+		}
+	}
+}
+
+// TestMDMExpCntSurvivesCorruption: corrupt updates (out-of-range QACs, the
+// inconsistent count=0 with q_E>=1, and counts past saturation) must reset
+// the program to positive cold-start estimates, never poison them — and the
+// recovery observation phase must land on positive learned values again.
+func TestMDMExpCntSurvivesCorruption(t *testing.T) {
+	cfg := DefaultMDMConfig(1)
+	cfg.PhaseUpdates = 8
+	cfg.RecomputeEvery = 2
+	m, err := NewMDM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := []struct {
+		qI, qE uint8
+		count  uint32
+	}{
+		{hybrid.NumQI, 1, 5},          // q_I out of range
+		{0, hybrid.NumQE + 1, 5},      // q_E out of range
+		{0, 1, 0},                     // inconsistent: counted eviction with zero count
+		{0, 1, hybrid.CounterMax + 1}, // count past saturation
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		// Some clean updates, then a corruption, then the clean updates
+		// that re-converge the program.
+		for i := 0; i < rng.Intn(20); i++ {
+			m.OnSTCEvict(0, uint8(rng.Intn(hybrid.NumQI)), 1+uint8(rng.Intn(hybrid.NumQE)), 1+uint32(rng.Intn(hybrid.CounterMax)))
+			checkExpCntPositive(t, m, 0, "clean update")
+		}
+		c := corrupt[round%len(corrupt)]
+		m.OnSTCEvict(0, c.qI, c.qE, c.count)
+		checkExpCntPositive(t, m, 0, "after corrupt update")
+		if !m.Degraded(0) {
+			t.Fatalf("round %d: corrupt update %+v did not degrade the program", round, c)
+		}
+		// A full observation phase of clean updates must re-converge.
+		for i := int64(0); i < cfg.PhaseUpdates; i++ {
+			m.OnSTCEvict(0, 0, 1, 4)
+			checkExpCntPositive(t, m, 0, "recovery update")
+		}
+		if m.Degraded(0) {
+			t.Fatalf("round %d: program still degraded after a clean observation phase", round)
+		}
+	}
+	if m.CorruptUpdates != 50 {
+		t.Errorf("CorruptUpdates = %d, want 50", m.CorruptUpdates)
+	}
+}

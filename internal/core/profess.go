@@ -6,6 +6,7 @@ import (
 	"profess/internal/fault"
 	"profess/internal/hybrid"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 )
 
 // ProFessConfig parameterises the integrated framework.
@@ -195,6 +196,19 @@ func (p *ProFess) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 	default:
 		p.mdm.OnAccess(info, ctl)
 	}
+}
+
+// RegisterTelemetry registers the framework's signals with a per-epoch
+// sampler: everything the wrapped RSM and MDM expose, plus the Table 7
+// case tallies.
+func (p *ProFess) RegisterTelemetry(s *telemetry.Sampler) {
+	p.rsm.RegisterTelemetry(s)
+	p.mdm.RegisterTelemetry(s)
+	for d := DecisionMDM; d <= DecisionProtectCase3; d++ {
+		d := d
+		s.Counter("profess.case."+d.String(), func() int64 { return p.CaseCounts[d] })
+	}
+	s.Counter("profess.guidance_suspended", func() int64 { return p.GuidanceSuspended })
 }
 
 // SetFaultInjector arms the wrapped RSM with a fault injector (the MDM's

@@ -11,6 +11,7 @@ import (
 
 	"profess/internal/fault"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 )
 
 // RSMConfig parameterises the Relative-Slowdown Monitor.
@@ -293,6 +294,26 @@ func (r *RSM) SFA(core int) float64 { return r.progs[core].sfA }
 
 // SFB returns program core's current slowdown factor SF_B (eq. 3).
 func (r *RSM) SFB(core int) float64 { return r.progs[core].sfB }
+
+// RegisterTelemetry registers the monitor's per-program signals — the
+// SF_A/SF_B trajectories the paper's time-series figures are built from,
+// completed sampling periods, and the degraded-mode flag — with a
+// per-epoch sampler.
+func (r *RSM) RegisterTelemetry(s *telemetry.Sampler) {
+	for i := range r.progs {
+		i := i
+		s.Gauge(fmt.Sprintf("p%d.sfa", i), func(int64) float64 { return r.progs[i].sfA })
+		s.Gauge(fmt.Sprintf("p%d.sfb", i), func(int64) float64 { return r.progs[i].sfB })
+		s.Counter(fmt.Sprintf("p%d.rsm_periods", i), func() int64 { return r.Periods[i] })
+		s.Gauge(fmt.Sprintf("p%d.rsm_degraded", i), func(int64) float64 {
+			if r.progs[i].degraded {
+				return 1
+			}
+			return 0
+		})
+	}
+	s.Counter("rsm.implausible_sfs", func() int64 { return r.ImplausibleSFs })
+}
 
 // ProbeSeries returns the Table 4 instrumentation for a program: the
 // per-period region-spread percentages and the raw and averaged SF_A

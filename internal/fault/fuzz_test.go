@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParsePlan feeds arbitrary strings to the -faults flag parser. It
+// must never panic, anything it accepts must validate (the simulator
+// trusts accepted plans without re-checking), and the canonical String
+// rendering must be stable under a re-parse — otherwise a plan logged in
+// one run could not reproduce the next.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"none",
+		"rate=1e-4",
+		"rate=1e-4,seed=7",
+		"seed=0xdead,nvmread=0.001,nvmwrite=0.002",
+		"stall=0.01,stallcycles=500",
+		"qac=0.25,sf=0.125",
+		"rate=2",          // out of range
+		"rate=nan",        // NaN must be rejected by Validate
+		"stallcycles=-1",  // negative duration
+		"bogus=1",         // unknown key
+		"seed",            // not key=value
+		"=,=,=",           // degenerate separators
+		"rate=1e999",      // float overflow
+		" rate = 1e-4 , ", // whitespace and trailing comma
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return // rejected: the only requirement is not panicking
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted an invalid plan: %v", s, verr)
+		}
+		// Canonical-form stability: String() must re-parse, and the
+		// re-parsed plan must render identically.
+		c := p.String()
+		p2, err := ParsePlan(c)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q).String() = %q does not re-parse: %v", s, c, err)
+		}
+		if c2 := p2.String(); c2 != c {
+			t.Fatalf("canonical form unstable: %q -> %q -> %q", s, c, c2)
+		}
+	})
+}

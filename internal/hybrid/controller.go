@@ -7,6 +7,7 @@ import (
 	"profess/internal/fault"
 	"profess/internal/mem"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 )
 
 // CoreStats aggregates per-program controller-level statistics.
@@ -434,6 +435,38 @@ func (c *Controller) ScheduleSwap(group int64, slot int) bool {
 		c.policy.OnSwapDone(region, private, ownerM1, ownerM2)
 	})
 	return true
+}
+
+// RegisterTelemetry registers the controller's signals with a per-epoch
+// sampler: per-program served/M1-served/swap counts, STC hit behaviour,
+// Swap-group Table traffic, and the NVM retry/drop resilience state.
+func (c *Controller) RegisterTelemetry(s *telemetry.Sampler) {
+	for i := range c.Cores {
+		i := i
+		s.Counter(fmt.Sprintf("p%d.served", i), func() int64 { return c.Cores[i].Served })
+		s.Counter(fmt.Sprintf("p%d.served_m1", i), func() int64 { return c.Cores[i].ServedM1 })
+		s.Counter(fmt.Sprintf("p%d.swaps", i), func() int64 { return c.Cores[i].Swaps })
+	}
+	s.Counter("stc.hits", func() int64 {
+		var h int64
+		for _, stc := range c.stcs {
+			h += stc.Hits
+		}
+		return h
+	})
+	s.Counter("stc.misses", func() int64 {
+		var m int64
+		for _, stc := range c.stcs {
+			m += stc.Misses
+		}
+		return m
+	})
+	s.Gauge("stc.hit_rate", func(int64) float64 { return c.STCHitRate() })
+	s.Counter("st.reads", func() int64 { return c.STReads })
+	s.Counter("st.writes", func() int64 { return c.STWrites })
+	s.Counter("swaps.done", func() int64 { return c.SwapsDone })
+	s.Counter("resil.retries", func() int64 { return c.Resilience.Retries })
+	s.Counter("resil.drops", func() int64 { return c.Resilience.Drops })
 }
 
 // FlushSTCs drains all STC entries (end of simulation) so the final QAC

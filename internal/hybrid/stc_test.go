@@ -29,6 +29,46 @@ func TestQuantizeBounds(t *testing.T) {
 	}
 }
 
+// TestQuantizeMonotoneTotal exhaustively checks the Table 5 mapping over
+// the whole 6-bit counter domain: it must be total (every count in
+// 0..CounterMax lands in a valid bucket), monotone non-decreasing, and
+// onto (every bucket reachable) — the properties the MDM's expected-count
+// tables assume without checking.
+func TestQuantizeMonotoneTotal(t *testing.T) {
+	seen := make([]bool, NumQI)
+	var prev uint8
+	for c := uint32(0); c <= CounterMax; c++ {
+		q := QuantizeCount(c)
+		if q >= NumQI {
+			t.Fatalf("QuantizeCount(%d) = %d outside [0,%d)", c, q, NumQI)
+		}
+		if q < prev {
+			t.Fatalf("not monotone at %d: %d after %d", c, q, prev)
+		}
+		seen[q] = true
+		prev = q
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Errorf("bucket %d unreachable within 0..%d", b, CounterMax)
+		}
+	}
+	// The exact Table 5 boundaries, including saturation and beyond (a
+	// corrupt count above CounterMax must still quantize, not wrap).
+	boundaries := []struct {
+		c    uint32
+		want uint8
+	}{
+		{0, 0}, {1, 1}, {7, 1}, {8, 2}, {31, 2}, {32, 3},
+		{CounterMax, 3}, {CounterMax + 1, 3}, {1 << 31, 3}, {^uint32(0), 3},
+	}
+	for _, b := range boundaries {
+		if got := QuantizeCount(b.c); got != b.want {
+			t.Errorf("QuantizeCount(%d) = %d, want %d", b.c, got, b.want)
+		}
+	}
+}
+
 func newTestSTC(t *testing.T) *STC {
 	t.Helper()
 	s, err := NewSTC(16, 4, 1) // 4 sets x 4 ways

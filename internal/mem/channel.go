@@ -5,6 +5,7 @@ import (
 
 	"profess/internal/event"
 	"profess/internal/fault"
+	"profess/internal/telemetry"
 )
 
 // ChannelConfig describes one memory channel: an M1 module and an M2 module
@@ -137,6 +138,21 @@ func (ch *Channel) AvgQueueDepth() float64 {
 		return 0
 	}
 	return float64(ch.queueDepthSum) / float64(ch.queueSamples)
+}
+
+// RegisterTelemetry registers the channel's signals under the given name
+// prefix with a per-epoch sampler: instantaneous queue occupancy,
+// data-bus busy cycles and per-partition demand traffic.
+func (ch *Channel) RegisterTelemetry(s *telemetry.Sampler, prefix string) {
+	s.Gauge(prefix+".queue", func(int64) float64 { return float64(len(ch.queue)) })
+	s.Counter(prefix+".bus_busy", func() int64 { return ch.BusBusyCycles })
+	s.Counter(prefix+".m1_demand", func() int64 {
+		return ch.Counts.Reads[M1] + ch.Counts.Writes[M1]
+	})
+	s.Counter(prefix+".m2_demand", func() int64 {
+		return ch.Counts.Reads[M2] + ch.Counts.Writes[M2]
+	})
+	s.Counter(prefix+".swaps", func() int64 { return ch.Counts.Swaps })
 }
 
 // Enqueue admits a request to the channel at the current time and attempts

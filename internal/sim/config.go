@@ -50,6 +50,17 @@ type Config struct {
 	// and the simulation stays bit-identical to a fault-free build.
 	Faults fault.Plan
 
+	// TelemetryEvery enables the per-epoch telemetry sampler: every N CPU
+	// cycles the registered gauges and counters are snapshotted into
+	// Result.Telemetry. 0 disables telemetry entirely — no sampler is
+	// built, no events are scheduled, and the run stays bit-identical and
+	// cycle-identical to a build without the subsystem.
+	TelemetryEvery int64
+	// TelemetryCapacity bounds the in-memory epoch ring
+	// (telemetry.DefaultCapacity when 0); the oldest epochs are evicted
+	// once it fills.
+	TelemetryCapacity int
+
 	Energy energy.Model
 }
 
@@ -150,6 +161,12 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
+	}
+	if c.TelemetryEvery < 0 {
+		return fmt.Errorf("sim: negative telemetry epoch %d", c.TelemetryEvery)
+	}
+	if c.TelemetryCapacity < 0 {
+		return fmt.Errorf("sim: negative telemetry capacity %d", c.TelemetryCapacity)
 	}
 	return nil
 }

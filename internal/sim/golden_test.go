@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update rewrites the committed golden telemetry traces from the current
+// build:
+//
+//	go test ./internal/sim -run TestGoldenTelemetry -update
+//
+// Inspect the diff before committing — a golden change means the
+// simulation's observable behaviour changed.
+var update = flag.Bool("update", false, "rewrite testdata/golden telemetry traces")
+
+// goldenConfig is the fixed scenario behind the golden traces: a
+// fixed-seed two-program mix (mcf's irregular pointer chasing competing
+// with lbm's streaming) on the quad-core system, small enough to run in
+// about a second but long enough to cross several MDM phases.
+func goldenConfig(t *testing.T) (Config, []ProgramSpec) {
+	t.Helper()
+	cfg := MultiCoreConfig(PaperScale)
+	cfg.Instructions = 120_000
+	cfg.TelemetryEvery = 25_000
+	specs := make([]ProgramSpec, 0, 2)
+	for _, name := range []string{"mcf", "lbm"} {
+		s, err := SpecForProgram(name, cfg.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return cfg, specs
+}
+
+// goldenRun executes the scenario under one scheme and returns the
+// exported per-epoch JSONL.
+func goldenRun(t *testing.T, scheme Scheme) []byte {
+	t.Helper()
+	cfg, specs := goldenConfig(t)
+	res, err := Run(cfg, specs, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("telemetry enabled but Result.Telemetry is nil")
+	}
+	if res.Telemetry.Len() == 0 {
+		t.Fatal("telemetry recorded no epochs")
+	}
+	var buf bytes.Buffer
+	if err := res.Telemetry.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTelemetry regression-tests the whole simulated machine: the
+// per-epoch telemetry of a fixed-seed run under pom and mdm must match the
+// committed traces byte for byte. Any drift in event ordering, RNG
+// consumption, policy arithmetic, or export formatting shows up here as a
+// readable JSONL diff rather than a silent behaviour change.
+func TestGoldenTelemetry(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePoM, SchemeMDM} {
+		t.Run(string(scheme), func(t *testing.T) {
+			got := goldenRun(t, scheme)
+
+			// Determinism first: a second in-process run must reproduce the
+			// export byte for byte, otherwise the golden comparison would
+			// chase ghosts.
+			again := goldenRun(t, scheme)
+			if !bytes.Equal(got, again) {
+				t.Fatal("two in-process runs produced different telemetry exports")
+			}
+
+			path := filepath.Join("testdata", "golden", string(scheme)+".jsonl")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden trace)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("telemetry diverged from %s\n got %d bytes, want %d bytes\nfirst differing line: %s\nrerun with -update and inspect the diff if the change is intended",
+					path, len(got), len(want), firstDiffLine(got, want))
+			}
+		})
+	}
+}
+
+// firstDiffLine locates the first line where two JSONL exports diverge.
+func firstDiffLine(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return string(g[i])
+		}
+	}
+	if len(g) > len(w) {
+		return "(extra trailing lines in got)"
+	}
+	return "(extra trailing lines in want)"
+}

@@ -11,6 +11,7 @@ import (
 	"profess/internal/hybrid"
 	"profess/internal/mem"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 	"profess/internal/trace"
 	"profess/internal/workload"
 )
@@ -110,6 +111,10 @@ type Result struct {
 	// Resilience tallies fault injection and graceful degradation; zero
 	// for a fault-free run.
 	Resilience stats.Resilience
+	// Telemetry holds the per-epoch sampler when Config.TelemetryEvery > 0;
+	// nil otherwise. Excluded from the JSON summary — export it separately
+	// via WriteJSONL/WriteCSV.
+	Telemetry *telemetry.Sampler `json:"-"`
 }
 
 // IPCs returns the per-core IPC vector.
@@ -163,8 +168,10 @@ type System struct {
 	Front  *l3Frontend
 	Policy hybrid.Policy
 	// Inj is the root fault injector; nil unless Cfg.Faults is enabled.
-	Inj   *fault.Injector
-	specs []ProgramSpec
+	Inj *fault.Injector
+	// Telemetry is the per-epoch sampler; nil unless Cfg.TelemetryEvery > 0.
+	Telemetry *telemetry.Sampler
+	specs     []ProgramSpec
 	// coreProg maps a hardware core (thread) to its program index; all
 	// threads of one program share counters, regions and statistics.
 	coreProg []int
@@ -278,6 +285,44 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 			sys.coreProg = append(sys.coreProg, i)
 		}
 	}
+
+	// Telemetry: only a positive epoch builds a sampler, so the default
+	// configuration schedules no events and stays bit- and cycle-identical
+	// to a build without the subsystem. Sampling itself never mutates
+	// simulated state, so even a telemetry-on run produces the same Result.
+	if cfg.TelemetryEvery > 0 {
+		tel, err := telemetry.New(telemetry.Config{Every: cfg.TelemetryEvery, Capacity: cfg.TelemetryCapacity})
+		if err != nil {
+			return nil, err
+		}
+		for i, spec := range specs {
+			i, name := i, spec.Name
+			var prevInstr, prevCycle int64
+			tel.Gauge(fmt.Sprintf("p%d.%s.ipc", i, name), func(now int64) float64 {
+				var instr int64
+				for ci, c := range sys.Cores {
+					if sys.coreProg[ci] == i {
+						instr += c.Instructions()
+					}
+				}
+				dI, dC := instr-prevInstr, now-prevCycle
+				prevInstr, prevCycle = instr, now
+				if dC <= 0 {
+					return 0
+				}
+				return float64(dI) / float64(dC)
+			})
+		}
+		ctl.RegisterTelemetry(tel)
+		for ci, ch := range chans {
+			ch.RegisterTelemetry(tel, fmt.Sprintf("chan%d", ci))
+		}
+		if tp, ok := policy.(interface{ RegisterTelemetry(*telemetry.Sampler) }); ok {
+			tp.RegisterTelemetry(tel)
+		}
+		tel.Start(q)
+		sys.Telemetry = tel
+	}
 	return sys, nil
 }
 
@@ -362,6 +407,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if cycles == 0 {
 		return nil, fmt.Errorf("sim: simulation made no progress")
 	}
+	s.Telemetry.Finish(cycles)
 	res := &Result{
 		Scheme:   s.Policy.Name(),
 		Cycles:   cycles,
@@ -379,6 +425,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	res.EnergyEff = rep.Efficiency()
 	res.Watts = rep.Watts()
 
+	res.Telemetry = s.Telemetry
 	res.Resilience = s.Ctl.Resilience
 	if s.Inj != nil {
 		counts := s.Inj.Counts()

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTelemetryDoesNotPerturbSimulation is the zero-cost contract of the
+// telemetry subsystem, checked from both sides: a run with the sampler
+// enabled must produce exactly the Result of a run with it disabled —
+// same cycles, same counters, same energy — because sampling only reads
+// state from the event calendar, never mutates it.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePoM, SchemeProFess} {
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg, specs := goldenConfig(t)
+
+			cfg.TelemetryEvery = 0
+			off, err := Run(cfg, specs, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Telemetry != nil {
+				t.Fatal("telemetry disabled but Result.Telemetry is set")
+			}
+
+			cfg.TelemetryEvery = 25_000
+			on, err := Run(cfg, specs, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Telemetry == nil || on.Telemetry.Len() == 0 {
+				t.Fatal("telemetry enabled but recorded nothing")
+			}
+
+			// Compare everything except the sampler itself.
+			on.Telemetry = nil
+			if !reflect.DeepEqual(on, off) {
+				t.Errorf("telemetry perturbed the simulation:\n on: %+v\noff: %+v", on, off)
+			}
+		})
+	}
+}
+
+// TestTelemetryEpochSpacing checks the sampler's cycle-domain contract on
+// a real run: consecutive epochs are exactly TelemetryEvery cycles apart,
+// except the final partial epoch flushed at the end of the run.
+func TestTelemetryEpochSpacing(t *testing.T) {
+	cfg, specs := goldenConfig(t)
+	res, err := Run(cfg, specs, SchemeMDM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Telemetry.Records()
+	if len(recs) < 2 {
+		t.Fatalf("want at least 2 epochs, got %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		gap := recs[i].Cycle - recs[i-1].Cycle
+		if i < len(recs)-1 && gap != cfg.TelemetryEvery {
+			t.Errorf("epoch %d at cycle %d: gap %d, want %d", i, recs[i].Cycle, gap, cfg.TelemetryEvery)
+		}
+		if gap <= 0 || gap > cfg.TelemetryEvery {
+			t.Errorf("epoch %d: gap %d outside (0, %d]", i, gap, cfg.TelemetryEvery)
+		}
+		if recs[i].Epoch != recs[i-1].Epoch+1 {
+			t.Errorf("epoch numbering not consecutive at %d", i)
+		}
+	}
+	if last := recs[len(recs)-1].Cycle; last != res.Cycles {
+		t.Errorf("final partial epoch at cycle %d, want run end %d", last, res.Cycles)
+	}
+}
+
+// benchRun is the shared scenario of the overhead benchmarks; b.N runs of
+// the golden two-program mix under MDM.
+func benchRun(b *testing.B, every int64) {
+	cfg := MultiCoreConfig(PaperScale)
+	cfg.Instructions = 60_000
+	cfg.TelemetryEvery = every
+	var specs []ProgramSpec
+	for _, name := range []string{"mcf", "lbm"} {
+		s, err := SpecForProgram(name, cfg.Scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, specs, SchemeMDM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The acceptance bar is <2% overhead with telemetry disabled; compare:
+//
+//	go test ./internal/sim -bench 'SimLoop' -count 10 | benchstat
+func BenchmarkSimLoopTelemetryOff(b *testing.B) { benchRun(b, 0) }
+func BenchmarkSimLoopTelemetryOn(b *testing.B)  { benchRun(b, 25_000) }

@@ -22,11 +22,13 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs. Non-positive entries are
-// rejected by returning NaN, since a geometric mean is undefined for them.
+// GeoMean returns the geometric mean of xs. An empty slice and non-positive
+// entries are rejected by returning NaN, since a geometric mean is undefined
+// for them — callers that want a sentinel must check, not read a silent 0
+// that looks like a catastrophic slowdown.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var sum float64
 	for _, x := range xs {

@@ -33,8 +33,11 @@ func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{1, 1, 1}); !almost(got, 1, 1e-12) {
 		t.Errorf("GeoMean(ones) = %v, want 1", got)
 	}
-	if got := GeoMean(nil); got != 0 {
-		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	if got := GeoMean(nil); !math.IsNaN(got) {
+		t.Errorf("GeoMean(nil) = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{}); !math.IsNaN(got) {
+		t.Errorf("GeoMean(empty) = %v, want NaN", got)
 	}
 	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
 		t.Errorf("GeoMean with negative = %v, want NaN", got)

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Manifest records how one telemetry capture was produced, so an exported
+// trace stays interpretable (and reproducible) on its own: the simulated
+// configuration, the scheme, the seeds, the epoch length, and the source
+// revision. It is written alongside the JSONL/CSV export.
+type Manifest struct {
+	Scheme       string   `json:"scheme"`
+	Seed         uint64   `json:"seed"`
+	Scale        float64  `json:"scale"`
+	Instructions int64    `json:"instructions"`
+	EpochCycles  int64    `json:"epoch_cycles"`
+	Programs     []string `json:"programs,omitempty"`
+	Faults       string   `json:"faults,omitempty"`
+	GitDescribe  string   `json:"git_describe,omitempty"`
+	GoVersion    string   `json:"go_version,omitempty"`
+	// Extra carries tool-specific annotations (e.g. the replayed trace
+	// file); map encoding sorts keys, keeping the output deterministic.
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// NewManifest pre-fills the environment fields (Go version, git describe);
+// the caller fills in the run parameters.
+func NewManifest() Manifest {
+	return Manifest{GoVersion: runtime.Version(), GitDescribe: GitDescribe()}
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// GitDescribe returns `git describe --always --dirty` for the working
+// directory, or "" when git or a repository is unavailable — the manifest
+// then simply omits the field.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -36,6 +36,14 @@ var _ Source = (*Generator)(nil)
 //	    flags byte (bit0 write, bit1 dep)
 const traceMagic = "PFTR1"
 
+// Decoder sanity bounds: a gap must fit the Ref's int32 and a line index
+// must keep VAddr = line*64 a positive int64. Values beyond these cannot
+// come from WriteTrace and mark a corrupt or hostile file.
+const (
+	maxGap  = 1<<31 - 1
+	maxLine = (1 << 62) / 64
+)
+
 // WriteTrace captures n references from src into w.
 func WriteTrace(w io.Writer, src Source, n int64) error {
 	bw := bufio.NewWriter(w)
@@ -122,24 +130,43 @@ func ReadTrace(r io.Reader) (*Replayer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fp > 1<<62 {
+		return nil, fmt.Errorf("trace: implausible footprint %d", fp)
+	}
 	gap, err := readUvarint()
 	if err != nil {
 		return nil, err
+	}
+	if gap > maxGap {
+		return nil, fmt.Errorf("trace: implausible mean gap %d", gap)
 	}
 	count, err := readUvarint()
 	if err != nil {
 		return nil, err
 	}
 	rp := &Replayer{name: string(name), footprint: int64(fp), gapMean: int32(gap)}
-	rp.refs = make([]Ref, 0, count)
+	// The header count is untrusted input: pre-size only up to a modest
+	// bound and let append grow the slice if the records really are there —
+	// a corrupt count then costs nothing instead of a giant allocation.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	rp.refs = make([]Ref, 0, prealloc)
 	for i := uint64(0); i < count; i++ {
 		line, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
+		if line > maxLine {
+			return nil, fmt.Errorf("trace: record %d: implausible line index %d", i, line)
+		}
 		g, err := readUvarint()
 		if err != nil {
 			return nil, err
+		}
+		if g > maxGap {
+			return nil, fmt.Errorf("trace: record %d: implausible gap %d", i, g)
 		}
 		flags, err := br.ReadByte()
 		if err != nil {

@@ -34,6 +34,7 @@ import (
 	"profess/internal/hybrid"
 	"profess/internal/sim"
 	"profess/internal/stats"
+	"profess/internal/telemetry"
 	"profess/internal/workload"
 )
 
@@ -62,7 +63,19 @@ type (
 	// Resilience tallies injected faults and the simulator's graceful
 	// degradation (Result.Resilience).
 	Resilience = stats.Resilience
+	// TelemetrySampler is the per-epoch sampler behind Result.Telemetry
+	// (enabled via Config.TelemetryEvery); exports JSONL and CSV.
+	TelemetrySampler = telemetry.Sampler
+	// TelemetryManifest describes one telemetry run (config, seed, build)
+	// alongside its exported epochs.
+	TelemetryManifest = telemetry.Manifest
+	// TelemetryRecord is one sampled epoch of a TelemetrySampler.
+	TelemetryRecord = telemetry.Record
 )
+
+// NewTelemetryManifest returns a Manifest prefilled with build metadata
+// (Go version, git describe).
+func NewTelemetryManifest() TelemetryManifest { return telemetry.NewManifest() }
 
 // ParseFaultPlan parses the -faults flag syntax
 // ("key=value,...": seed, nvmread, nvmwrite, stall, stallcycles, qac, sf,
