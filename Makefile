@@ -10,7 +10,12 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke quick cover fuzz-smoke
+
+# Label recorded for a `make bench-json` run inside BENCH_FILE.
+BENCH_LABEL ?= local
+# Trajectory file bench-json appends to (committed: the PR's before/after).
+BENCH_FILE ?= BENCH_PR3.json
 
 check: vet build test-race
 
@@ -32,6 +37,20 @@ quick:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json runs the full suite once per benchmark and records ns/op,
+# B/op, allocs/op and every custom metric into $(BENCH_FILE) under
+# $(BENCH_LABEL). Re-running with the same label replaces that run, so the
+# committed trajectory stays one-entry-per-milestone.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' | \
+		bin/benchjson -label $(BENCH_LABEL) -o $(BENCH_FILE)
+
+# bench-smoke is the CI guard: every benchmark must still run to
+# completion (one iteration, no timing assertions).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # cover fails the build when total statement coverage drops under COVER_MIN.
 cover:

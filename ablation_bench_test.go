@@ -42,6 +42,7 @@ var ablationCache = NewBaselineCache()
 // BenchmarkAblation_FullProFess is the reference point for the ablations.
 func BenchmarkAblation_FullProFess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		sdn, ws, swaps := runProFessVariant(b, nil)
 		b.ReportMetric(sdn, "maxSdn-w09")
 		b.ReportMetric(ws, "WS-w09")
@@ -53,6 +54,7 @@ func BenchmarkAblation_FullProFess(b *testing.B) {
 // degenerates to SF_A-only comparisons.
 func BenchmarkAblation_NoSFB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		sdn, ws, _ := runProFessVariant(b, func(c *core.ProFessConfig) { c.DisableSFB = true })
 		b.ReportMetric(sdn, "maxSdn-w09")
 		b.ReportMetric(ws, "WS-w09")
@@ -62,6 +64,7 @@ func BenchmarkAblation_NoSFB(b *testing.B) {
 // BenchmarkAblation_NoCase3 removes the §3.3 mixed-signal protection case.
 func BenchmarkAblation_NoCase3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		sdn, ws, _ := runProFessVariant(b, func(c *core.ProFessConfig) { c.DisableCase3 = true })
 		b.ReportMetric(sdn, "maxSdn-w09")
 		b.ReportMetric(ws, "WS-w09")
@@ -72,6 +75,7 @@ func BenchmarkAblation_NoCase3(b *testing.B) {
 // (1/32 -> 1/16), making the guidance fire less often.
 func BenchmarkAblation_Threshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		sdn, ws, _ := runProFessVariant(b, func(c *core.ProFessConfig) {
 			c.Threshold = 1.0 / 16
 			c.ProductThreshold = 1.0 / 8
@@ -91,6 +95,7 @@ func BenchmarkAblation_MinBenefit(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		for _, k := range []float64{4, 8, 16} {
 			mcfg := core.DefaultMDMConfig(1)
 			mcfg.MinBenefit = k
@@ -118,6 +123,7 @@ func BenchmarkAblation_STTraffic(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		for _, model := range []bool{true, false} {
 			c := cfg
 			c.ModelSTTraffic = model
@@ -141,6 +147,7 @@ func BenchmarkOracle(b *testing.B) {
 	cfg := SingleCoreConfig(PaperScale)
 	cfg.Instructions = 400_000
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		for _, prog := range []string{"lbm", "soplex"} {
 			spec, err := SpecFor(prog, cfg)
 			if err != nil {

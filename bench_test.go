@@ -18,6 +18,12 @@ import (
 )
 
 // benchOpts returns fast experiment settings for benchmarks.
+//
+// Every benchmark loop starts with ResetRunCache(): the run cache would
+// otherwise serve iteration i>0 (and sibling benchmarks sharing cells)
+// from memory and the reported ns/op would measure a map lookup. Within
+// one iteration the cache stays active — deduplicating shared baselines is
+// part of the work being measured.
 func benchOpts() ExpOptions {
 	return ExpOptions{Instructions: 400_000, Parallelism: 1}
 }
@@ -42,6 +48,7 @@ func BenchmarkFig02_SlowdownsUnderPoM(b *testing.B) {
 	opts := benchMultiOpts()
 	opts.Workloads = []string{"w09"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunMultiProgram([]Scheme{SchemePoM}, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -56,6 +63,7 @@ func BenchmarkTable04_SamplingAccuracy(b *testing.B) {
 	opts := benchOpts()
 	opts.Programs = []string{"milc"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunSamplingAccuracy(opts)
 		if err != nil {
 			b.Fatal(err)
@@ -81,6 +89,7 @@ func fig567(b *testing.B) *SingleProgramReport {
 
 func BenchmarkFig05_SingleProgramIPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := fig567(b)
 		ratios := rep.Ratios(SchemeMDM, SchemePoM, "ipc")
 		reportSeries(b, "IPC-MDM/PoM-gmean", ratios)
@@ -94,6 +103,7 @@ func BenchmarkFig05_SingleProgramIPC(b *testing.B) {
 
 func BenchmarkFig06_M1ServedFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := fig567(b)
 		reportSeries(b, "M1frac-MDM/PoM-gmean", rep.Ratios(SchemeMDM, SchemePoM, "m1frac"))
 	}
@@ -101,6 +111,7 @@ func BenchmarkFig06_M1ServedFraction(b *testing.B) {
 
 func BenchmarkFig07_STCHitRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := fig567(b)
 		for _, prog := range []string{"mcf", "omnetpp", "lbm"} {
 			if row, ok := rep.row(prog, SchemeMDM); ok {
@@ -125,6 +136,7 @@ func fig89(b *testing.B) *STCSensitivityReport {
 
 func BenchmarkFig08_STCSizeIPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := fig89(b)
 		base := map[string]float64{}
 		for _, r := range rep.Rows {
@@ -142,6 +154,7 @@ func BenchmarkFig08_STCSizeIPC(b *testing.B) {
 
 func BenchmarkFig09_STCSizeHitRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := fig89(b)
 		for _, r := range rep.Rows {
 			if r.Program == "mcf" {
@@ -162,6 +175,7 @@ func BenchmarkSensTWR_M2WriteLatency(b *testing.B) {
 	opts := benchOpts()
 	opts.Programs = []string{"lbm", "mcf", "milc"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunTWRSensitivity(opts)
 		if err != nil {
 			b.Fatal(err)
@@ -176,6 +190,7 @@ func BenchmarkSensRatio_M1M2Capacity(b *testing.B) {
 	opts := benchOpts()
 	opts.Programs = []string{"lbm", "mcf", "soplex"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunRatioSensitivity(opts)
 		if err != nil {
 			b.Fatal(err)
@@ -198,6 +213,7 @@ func multiReport(b *testing.B, schemes []Scheme) *MultiProgramReport {
 
 func BenchmarkFig10_MaxSlowdownMDM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
 		reportSeries(b, "maxSdn-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "maxsdn"))
 	}
@@ -205,6 +221,7 @@ func BenchmarkFig10_MaxSlowdownMDM(b *testing.B) {
 
 func BenchmarkFig11_WeightedSpeedupMDM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
 		reportSeries(b, "WS-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "ws"))
 	}
@@ -212,6 +229,7 @@ func BenchmarkFig11_WeightedSpeedupMDM(b *testing.B) {
 
 func BenchmarkFig12_EnergyEfficiencyMDM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
 		reportSeries(b, "energyEff-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "energy"))
 	}
@@ -219,6 +237,7 @@ func BenchmarkFig12_EnergyEfficiencyMDM(b *testing.B) {
 
 func BenchmarkFig13_MaxSlowdownProFess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
 		reportSeries(b, "maxSdn-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "maxsdn"))
 	}
@@ -226,6 +245,7 @@ func BenchmarkFig13_MaxSlowdownProFess(b *testing.B) {
 
 func BenchmarkFig14_WeightedSpeedupProFess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
 		reportSeries(b, "WS-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "ws"))
 		reportSeries(b, "swapFrac-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "swapfrac"))
@@ -234,6 +254,7 @@ func BenchmarkFig14_WeightedSpeedupProFess(b *testing.B) {
 
 func BenchmarkFig15_EnergyEfficiencyProFess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeProFess})
 		reportSeries(b, "energyEff-ProFess/PoM-gmean", rep.NormalisedSeries(SchemeProFess, SchemePoM, "energy"))
 	}
@@ -243,6 +264,7 @@ func BenchmarkFig16_SlowdownDetail(b *testing.B) {
 	opts := benchMultiOpts()
 	opts.Workloads = []string{"w09"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunMultiProgram([]Scheme{SchemePoM, SchemeMDM, SchemeProFess}, opts)
 		if err != nil {
 			b.Fatal(err)
@@ -260,6 +282,7 @@ func BenchmarkMemPod_AMMATvsPoM(b *testing.B) {
 	opts.Programs = []string{"lbm", "milc", "soplex"}
 	opts.Workloads = []string{"w09"}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunMemPodComparison(opts)
 		if err != nil {
 			b.Fatal(err)
@@ -282,6 +305,7 @@ func BenchmarkTable02_AllAlgorithms(b *testing.B) {
 	opts.Workloads = []string{"w09"}
 	schemes := []Scheme{SchemePoM, SchemeCAMEO, SchemeSILCFM, SchemeMemPod, SchemeMDM, SchemeProFess}
 	for i := 0; i < b.N; i++ {
+		ResetRunCache()
 		rep, err := RunMultiProgram(schemes, opts)
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,196 @@
+// Command benchjson converts `go test -bench` output into the committed
+// benchmark-trajectory format (BENCH_PR3.json and successors): a JSON
+// document keyed by benchmark name with ns/op, B/op, allocs/op and every
+// custom metric the benchmarks report via b.ReportMetric.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem | benchjson -label post -o BENCH_PR3.json
+//
+// When -o names an existing trajectory file, the new run is added under
+// its label alongside the runs already recorded (e.g. the pre-change
+// baseline), so one file carries the before/after pair reviewers diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labelled invocation of the suite.
+type Run struct {
+	Label      string            `json:"label"`
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Trajectory is the committed document: an ordered list of runs.
+type Trajectory struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "run", "label for this run inside the trajectory")
+	out := flag.String("o", "", "output file (default stdout); merged if it exists")
+	flag.Parse()
+
+	run, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	run.Label = *label
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	var traj Trajectory
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &traj); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	// Replace a same-labelled run in place so re-running is idempotent.
+	replaced := false
+	for i := range traj.Runs {
+		if traj.Runs[i].Label == run.Label {
+			traj.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		traj.Runs = append(traj.Runs, run)
+	}
+
+	enc, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	summarise(os.Stderr, traj)
+}
+
+// parse reads `go test -bench` output: header lines (goos/goarch/cpu) and
+// benchmark result lines of the form
+//
+//	BenchmarkName-8  3  123456 ns/op  7.03 custom-metric  100 B/op  5 allocs/op
+func parse(r io.Reader) (Run, error) {
+	run := Run{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			run.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so labels are stable across hosts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return run, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		run.Benchmarks[name] = res
+	}
+	return run, sc.Err()
+}
+
+// summarise prints per-benchmark speedups of the last run against the
+// first, the reviewer's one-glance check.
+func summarise(w io.Writer, traj Trajectory) {
+	if len(traj.Runs) < 2 {
+		return
+	}
+	base, last := traj.Runs[0], traj.Runs[len(traj.Runs)-1]
+	var names []string
+	for name := range last.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-42s %12s %12s %8s %10s\n", "benchmark", base.Label+" ns", last.Label+" ns", "speedup", "allocs ratio")
+	for _, name := range names {
+		b, l := base.Benchmarks[name], last.Benchmarks[name]
+		if b.NsPerOp <= 0 || l.NsPerOp <= 0 {
+			continue
+		}
+		allocs := "-"
+		if l.AllocsOp > 0 && b.AllocsOp > 0 {
+			allocs = fmt.Sprintf("%.1fx", b.AllocsOp/l.AllocsOp)
+		}
+		fmt.Fprintf(w, "%-42s %12.0f %12.0f %7.2fx %10s\n", name, b.NsPerOp, l.NsPerOp, b.NsPerOp/l.NsPerOp, allocs)
+	}
+}

@@ -115,17 +115,22 @@ var (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
-		instr = flag.Int64("instr", 2_000_000, "instructions per program run")
-		scale = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
-		wls   = flag.String("workloads", "", "restrict workloads (comma separated)")
-		progs = flag.String("programs", "", "restrict programs (comma separated)")
-		par   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of tables where supported")
-		debug = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
+		instr   = flag.Int64("instr", 2_000_000, "instructions per program run")
+		scale   = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
+		wls     = flag.String("workloads", "", "restrict workloads (comma separated)")
+		progs   = flag.String("programs", "", "restrict programs (comma separated)")
+		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables where supported")
+		debug   = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		nocache = flag.Bool("nocache", false, "disable the in-process run cache (every cell simulates from scratch)")
 	)
 	flag.Parse()
+
+	if *nocache {
+		profess.SetRunCaching(false)
+	}
 
 	if *debug != "" {
 		go func() {

@@ -39,8 +39,13 @@ func main() {
 		epoch    = flag.Int64("epoch", 10_000, "telemetry epoch length in CPU cycles (with -telemetry)")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
 		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
+		nocache  = flag.Bool("nocache", false, "disable the in-process run cache (identical runs re-simulate)")
 	)
 	flag.Parse()
+
+	if *nocache {
+		profess.SetRunCaching(false)
+	}
 
 	if *list {
 		printCatalog()

@@ -1,0 +1,61 @@
+package profess
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestDeterministicReplay is the timing-wheel refactor's safety net: the
+// same fixed-seed mcf+lbm mix, run twice from scratch with telemetry on,
+// must produce deeply-equal Results and byte-identical JSONL exports. Any
+// engine change that reorders same-cycle events — a broken seq tiebreak, a
+// migration that overtakes a direct insert — shows up here as a diff.
+// Telemetry-enabled runs bypass the run cache, and caching is disabled
+// outright for belt and braces, so both runs truly simulate.
+func TestDeterministicReplay(t *testing.T) {
+	SetRunCaching(false)
+	defer SetRunCaching(true)
+
+	run := func() (*Result, []byte) {
+		cfg := MultiCoreConfig(PaperScale)
+		cfg.Instructions = 120_000
+		cfg.TelemetryEvery = 25_000
+		var specs []ProgramSpec
+		for _, name := range []string{"mcf", "lbm"} {
+			s, err := SpecFor(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs = append(specs, s)
+		}
+		res, err := RunSpecs(specs, SchemeProFess, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Telemetry.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+
+	r1, j1 := run()
+	r2, j2 := run()
+	if r1 == r2 {
+		t.Fatal("runs shared a Result pointer; the comparison would be vacuous")
+	}
+
+	// The sampler is stateful (ring indices, prev-counter snapshots) and
+	// compared through its JSONL export instead.
+	r1.Telemetry, r2.Telemetry = nil, nil
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("Results differ between identical runs:\n run1: %+v\n run2: %+v", r1, r2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("telemetry JSONL differs between identical runs")
+	}
+	if len(j1) == 0 {
+		t.Error("telemetry export is empty")
+	}
+}

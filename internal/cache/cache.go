@@ -39,12 +39,33 @@ type line struct {
 // Cache is a single-level cache model. Not safe for concurrent use.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line // Sets*Ways entries, set-major
 	clock int64
+
+	// Fast-path indexing: line and set arithmetic reduce to shifts and
+	// masks when the respective dimension is a power of two (the common
+	// case — lines are 64 B and capacities are powers of two). A shift of
+	// -1 marks the divide/modulo fallback.
+	lineShift int
+	setShift  int
+	setMask   int64
 
 	Hits       int64
 	Misses     int64
 	Writebacks int64
+}
+
+// log2 returns the exponent when v is a positive power of two, else -1.
+func log2(v int64) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // New builds an empty cache.
@@ -52,9 +73,12 @@ func New(cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
 		panic("cache: invalid config")
 	}
-	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets)}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		lines:     make([]line, cfg.Sets*cfg.Ways),
+		lineShift: log2(cfg.LineBytes),
+		setShift:  log2(int64(cfg.Sets)),
+		setMask:   int64(cfg.Sets) - 1,
 	}
 	return c
 }
@@ -69,7 +93,15 @@ func (c *Cache) Capacity() int64 {
 
 // index splits a byte address into (set, tag).
 func (c *Cache) index(addr int64) (int, int64) {
-	lineAddr := addr / c.cfg.LineBytes
+	var lineAddr int64
+	if c.lineShift >= 0 {
+		lineAddr = addr >> uint(c.lineShift)
+	} else {
+		lineAddr = addr / c.cfg.LineBytes
+	}
+	if c.setShift >= 0 {
+		return int(lineAddr & c.setMask), lineAddr >> uint(c.setShift)
+	}
 	return int(lineAddr % int64(c.cfg.Sets)), lineAddr / int64(c.cfg.Sets)
 }
 
@@ -78,7 +110,7 @@ func (c *Cache) index(addr int64) (int, int64) {
 // victim's address). Write hits and write allocations mark the line dirty.
 func (c *Cache) Access(addr int64, write bool) (hit bool, ev Eviction, evicted bool) {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	c.clock++
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
@@ -117,7 +149,7 @@ func (c *Cache) Access(addr int64, write bool) (hit bool, ev Eviction, evicted b
 // Probe reports whether addr is resident without touching LRU state.
 func (c *Cache) Probe(addr int64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.sets[set] {
+	for _, w := range c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways] {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -128,7 +160,7 @@ func (c *Cache) Probe(addr int64) bool {
 // Invalidate drops addr's line if resident, returning whether it was dirty.
 func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			d := ways[i].dirty

@@ -18,9 +18,12 @@ import (
 )
 
 // Memory is the interface to the memory hierarchy below the core (the
-// shared L3 in this simulator). Access must eventually invoke onDone.
+// shared L3 in this simulator). Access must eventually deliver completion
+// as done.HandleEvent(now, token, nil): the pre-bound handler plus opaque
+// token replace a per-access closure so that issuing a reference allocates
+// nothing.
 type Memory interface {
-	Access(core int, addr int64, write bool, onDone func(now int64))
+	Access(core int, addr int64, write bool, done event.Handler, token int64)
 }
 
 // Config sizes a core (Table 8: width 4, ROB 256).
@@ -63,7 +66,8 @@ type Core struct {
 	waitDep        bool
 	waitWindow     bool
 
-	pending        *trace.Ref
+	pending        trace.Ref
+	hasPending     bool
 	stopped        bool
 	firstDone      bool
 	FirstRunCycles int64 // cycle the first run completed (0 until then)
@@ -122,11 +126,25 @@ func (c *Core) MaxOutstanding() int { return c.maxOut }
 // Instructions returns total instructions executed across all repeats.
 func (c *Core) Instructions() int64 { return c.instr }
 
+// coreEvStep is the token of the core's self-scheduled step events; memory
+// completions carry the (non-negative) issue sequence number instead.
+const coreEvStep int64 = -1
+
+// HandleEvent implements event.Handler: the core receives its own step
+// wake-ups and the memory system's completions as typed events.
+func (c *Core) HandleEvent(now int64, i int64, _ any) {
+	if i < 0 {
+		c.step(now)
+		return
+	}
+	c.memDone(now, i)
+}
+
 // Start begins execution; onFirstDone fires when the first run's
 // instruction budget is reached.
 func (c *Core) Start(onFirstDone func(now int64)) {
 	c.onFirstDone = onFirstDone
-	c.sched.At(c.sched.Now(), func(now int64) { c.step(now) })
+	c.sched.Schedule(c.sched.Now(), c, coreEvStep, nil)
 }
 
 // Stop freezes the core: no further references are issued.
@@ -144,27 +162,26 @@ func (c *Core) translate(vaddr int64) int64 {
 // step issues references until blocked on time, dependence or the window.
 func (c *Core) step(now int64) {
 	for !c.stopped {
-		if c.pending == nil {
+		if !c.hasPending {
 			if c.runInstr >= c.budget {
 				c.completeRun(now)
 				if c.stopped {
 					return
 				}
 			}
-			ref := c.gen.Next()
-			c.pending = &ref
+			c.pending = c.gen.Next()
+			c.hasPending = true
 			// Advance the frontend by the compute gap at core width.
-			c.instrAcc += int64(ref.Gap)
+			c.instrAcc += int64(c.pending.Gap)
 			c.frontier += c.instrAcc / int64(c.cfg.Width)
 			c.instrAcc %= int64(c.cfg.Width)
 			if c.frontier < now {
 				c.frontier = now
 			}
 		}
-		ref := c.pending
+		ref := &c.pending
 		if now < c.frontier {
-			at := c.frontier
-			c.sched.At(at, func(t int64) { c.step(t) })
+			c.sched.Schedule(c.frontier, c, coreEvStep, nil)
 			return
 		}
 		if ref.Dep && !c.lastIssuedDone {
@@ -179,34 +196,39 @@ func (c *Core) step(now int64) {
 	}
 }
 
-// issue submits the pending reference to memory.
+// issue submits the pending reference to memory; the issue sequence number
+// rides along as the completion token.
 func (c *Core) issue(now int64, ref *trace.Ref) {
-	c.pending = nil
+	c.hasPending = false
 	c.instr += int64(ref.Gap) + 1 // the gap plus the memory instruction
 	c.runInstr += int64(ref.Gap) + 1
 	c.outstanding++
 	c.issuedSeq++
-	seq := c.issuedSeq
 	c.lastIssuedDone = false
 	addr := c.translate(ref.VAddr)
-	c.memhw.Access(c.id, addr, ref.Write, func(done int64) {
-		c.outstanding--
-		if seq == c.issuedSeq {
-			c.lastIssuedDone = true
-		}
-		if c.stopped {
-			return
-		}
-		if c.waitDep && c.lastIssuedDone {
-			c.waitDep = false
-			c.step(done)
-			return
-		}
-		if c.waitWindow {
-			c.waitWindow = false
-			c.step(done)
-		}
-	})
+	c.memhw.Access(c.id, addr, ref.Write, c, c.issuedSeq)
+}
+
+// memDone handles one memory completion: the token is the completed
+// reference's issue sequence number, so dependence tracking survives the
+// reference itself having been recycled.
+func (c *Core) memDone(done int64, seq int64) {
+	c.outstanding--
+	if seq == c.issuedSeq {
+		c.lastIssuedDone = true
+	}
+	if c.stopped {
+		return
+	}
+	if c.waitDep && c.lastIssuedDone {
+		c.waitDep = false
+		c.step(done)
+		return
+	}
+	if c.waitWindow {
+		c.waitWindow = false
+		c.step(done)
+	}
 }
 
 // completeRun handles reaching the instruction budget: record the first

@@ -17,7 +17,7 @@ type fakeMemory struct {
 	maxSeen  int
 }
 
-func (f *fakeMemory) Access(core int, addr int64, write bool, onDone func(now int64)) {
+func (f *fakeMemory) Access(core int, addr int64, write bool, done event.Handler, token int64) {
 	f.issues = append(f.issues, f.sched.Now())
 	f.inflight++
 	if f.inflight > f.maxSeen {
@@ -25,7 +25,7 @@ func (f *fakeMemory) Access(core int, addr int64, write bool, onDone func(now in
 	}
 	f.sched.After(f.latency, func(now int64) {
 		f.inflight--
-		onDone(now)
+		done.HandleEvent(now, token, nil)
 	})
 }
 

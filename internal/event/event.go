@@ -1,76 +1,275 @@
 // Package event implements the discrete-event engine at the heart of the
-// simulator: a monotonic clock plus a binary-heap calendar of callbacks.
-// Components (cores, memory channels, the migration machinery) schedule
-// future work with At and the driver pumps events with Step/RunUntil.
+// simulator: a monotonic clock plus a calendar of pending work. Components
+// (cores, memory channels, the migration machinery) schedule future work
+// with At/Schedule and the driver pumps events with Step/RunUntil.
+//
+// # Engine
+//
+// The calendar is a hierarchical timing wheel: events within the near
+// horizon (wheelSize cycles) land in per-cycle buckets addressed by
+// t mod wheelSize, and events beyond it wait in a typed overflow min-heap
+// that is migrated into the wheel as the clock advances. Both tiers store
+// events by value in reusable backing arrays, so pushing and popping an
+// event performs no heap allocation in steady state — unlike the previous
+// container/heap calendar, which boxed every item through interface{}.
+//
+// # Dispatch
+//
+// Events come in two flavours:
+//
+//   - Closure events (At/After): fn(now) — the compatibility surface; the
+//     closure itself is allocated at the caller.
+//   - Typed events (Schedule): h.HandleEvent(now, i, p) on a pre-bound
+//     long-lived Handler with a small tagged payload. Scheduling one
+//     allocates nothing, which is what the simulator's hot paths use.
+//
+// # Determinism
+//
+// Events fire in (time, insertion order) — the seq tiebreak. Within a
+// wheel bucket insertion order is append order; the overflow heap orders
+// by (at, seq); and migration drains the heap in that order before any
+// same-cycle event can be inserted directly, so the global dispatch order
+// is exactly the order a single sorted calendar would produce.
 package event
 
-import "container/heap"
+import "math/bits"
 
-// Queue is a discrete-event calendar. The zero value is ready to use.
-type Queue struct {
-	now   int64
-	items eventHeap
-	seq   int64
+const (
+	// wheelBits sizes the near-future horizon: events scheduled fewer
+	// than wheelSize cycles ahead go straight to a bucket. 8192 cycles
+	// covers every memory-system latency in the simulator (the longest,
+	// a blocked-channel swap, is ~2.5K cycles); telemetry epochs and
+	// refresh windows overflow to the heap, which is fine — they are
+	// rare.
+	wheelBits = 13
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	occWords  = wheelSize / 64
+)
+
+// Handler receives typed event dispatches. Implementations are long-lived
+// simulation components (a memory channel, a core, a sampler) that bind
+// themselves once; i and p are per-event payload (an event-kind tag, a
+// token, a request pointer). Scheduling a Handler allocates nothing.
+type Handler interface {
+	HandleEvent(now int64, i int64, p any)
 }
 
-type item struct {
+// HandlerFunc adapts a plain function to the Handler interface — glue for
+// tests and call sites where a pre-bound component would be overkill. Note
+// that a HandlerFunc value is itself a closure, so this is not the
+// zero-allocation path.
+type HandlerFunc func(now int64, i int64, p any)
+
+// HandleEvent implements Handler.
+func (f HandlerFunc) HandleEvent(now int64, i int64, p any) { f(now, i, p) }
+
+// timed is one scheduled event: a closure (fn non-nil) or a typed
+// dispatch (h non-nil). Stored by value in wheel buckets and the
+// overflow heap.
+type timed struct {
 	at  int64
 	seq int64 // insertion order breaks ties for determinism
 	fn  func(now int64)
+	h   Handler
+	i   int64
+	p   any
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// bucket holds the events of one cycle within the wheel horizon. head
+// indexes the next event to fire; the backing array is reset (not freed)
+// when drained, so capacity is reused across wheel rotations.
+type bucket struct {
+	head  int
+	items []timed
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// Queue is a discrete-event calendar. The zero value is ready to use.
+type Queue struct {
+	now int64
+	seq int64
+	n   int // total pending events (wheel + overflow)
+
+	wheel    []bucket // wheelSize buckets, allocated on first insert
+	occ      []uint64 // occupancy bitmap over buckets
+	wheelN   int      // events currently in the wheel
+	overflow []timed  // min-heap on (at, seq) for beyond-horizon events
 }
 
 // Now returns the current simulation time in cycles.
 func (q *Queue) Now() int64 { return q.now }
 
-// At schedules fn to run at cycle t. Scheduling in the past (t < Now) runs
-// the callback at the current time instead, preserving monotonicity.
+// At schedules fn to run at cycle t. Scheduling in the past (t < Now)
+// clamps to the current time: the callback runs at Now, after every
+// event already scheduled for Now (insertion order still breaks the
+// tie), preserving the clock's monotonicity.
 func (q *Queue) At(t int64, fn func(now int64)) {
+	q.add(t, timed{fn: fn})
+}
+
+// After schedules fn delay cycles from now. A non-positive delay behaves
+// like At(Now()): the callback runs at the current cycle.
+func (q *Queue) After(delay int64, fn func(now int64)) {
+	q.add(q.now+delay, timed{fn: fn})
+}
+
+// Schedule arms a typed event: at cycle t (clamped to Now like At), h
+// receives HandleEvent(now, i, p). This is the zero-allocation scheduling
+// path: the event is stored by value and h is a pre-bound component.
+func (q *Queue) Schedule(t int64, h Handler, i int64, p any) {
+	q.add(t, timed{h: h, i: i, p: p})
+}
+
+// add stamps and files one event.
+func (q *Queue) add(t int64, ev timed) {
 	if t < q.now {
 		t = q.now
 	}
 	q.seq++
-	heap.Push(&q.items, item{at: t, seq: q.seq, fn: fn})
+	ev.at = t
+	ev.seq = q.seq
+	q.n++
+	if t < q.now+wheelSize {
+		q.pushWheel(ev)
+	} else {
+		q.pushOverflow(ev)
+	}
 }
 
-// After schedules fn delay cycles from now.
-func (q *Queue) After(delay int64, fn func(now int64)) {
-	q.At(q.now+delay, fn)
+// pushWheel files an in-horizon event into its bucket.
+func (q *Queue) pushWheel(ev timed) {
+	if q.wheel == nil {
+		q.wheel = make([]bucket, wheelSize)
+		q.occ = make([]uint64, occWords)
+	}
+	idx := int(ev.at & wheelMask)
+	b := &q.wheel[idx]
+	b.items = append(b.items, ev)
+	q.occ[idx>>6] |= 1 << uint(idx&63)
+	q.wheelN++
+}
+
+// pushOverflow sift-up inserts into the typed min-heap.
+func (q *Queue) pushOverflow(ev timed) {
+	h := append(q.overflow, ev)
+	j := len(h) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !less(&h[j], &h[parent]) {
+			break
+		}
+		h[j], h[parent] = h[parent], h[j]
+		j = parent
+	}
+	q.overflow = h
+}
+
+// popOverflow removes and returns the heap minimum.
+func (q *Queue) popOverflow() timed {
+	h := q.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = timed{} // release payload references
+	h = h[:last]
+	q.overflow = h
+	j := 0
+	for {
+		l := 2*j + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && less(&h[r], &h[l]) {
+			m = r
+		}
+		if !less(&h[m], &h[j]) {
+			break
+		}
+		h[j], h[m] = h[m], h[j]
+		j = m
+	}
+	return top
+}
+
+// less orders events by (time, insertion order).
+func less(a, b *timed) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// migrate pulls every overflow event that the advancing clock brought
+// inside the wheel horizon into its bucket, in (at, seq) order.
+func (q *Queue) migrate() {
+	horizon := q.now + wheelSize
+	for len(q.overflow) > 0 && q.overflow[0].at < horizon {
+		q.pushWheel(q.popOverflow())
+	}
+}
+
+// nextWheelBucket scans the occupancy bitmap circularly from the current
+// cycle's slot and returns the index of the first occupied bucket — the
+// bucket holding the earliest pending wheel event. Callers must ensure
+// wheelN > 0.
+func (q *Queue) nextWheelBucket() int {
+	start := int(q.now & wheelMask)
+	w := start >> 6
+	word := q.occ[w] &^ ((1 << uint(start&63)) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == occWords {
+			w = 0
+		}
+		word = q.occ[w]
+	}
 }
 
 // Empty reports whether no events are pending.
-func (q *Queue) Empty() bool { return len(q.items) == 0 }
+func (q *Queue) Empty() bool { return q.n == 0 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
 
 // Step pops and runs the earliest event, advancing the clock. It reports
 // false when the calendar is empty.
 func (q *Queue) Step() bool {
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return false
 	}
-	it := heap.Pop(&q.items).(item)
-	q.now = it.at
-	it.fn(q.now)
+	var t int64
+	if q.wheelN > 0 {
+		idx := q.nextWheelBucket()
+		b := &q.wheel[idx]
+		t = b.items[b.head].at
+	} else {
+		t = q.overflow[0].at
+	}
+	if t > q.now {
+		q.now = t
+		q.migrate()
+	}
+	idx := int(t & wheelMask)
+	b := &q.wheel[idx]
+	ev := b.items[b.head]
+	b.items[b.head] = timed{} // release closure/payload references
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+		q.occ[idx>>6] &^= 1 << uint(idx&63)
+	}
+	q.wheelN--
+	q.n--
+	if ev.fn != nil {
+		ev.fn(q.now)
+	} else {
+		ev.h.HandleEvent(q.now, ev.i, ev.p)
+	}
 	return true
 }
 
@@ -93,11 +292,14 @@ func (q *Queue) Drain() int64 {
 }
 
 // Scheduler is the interface components use to talk to the calendar; both
-// *Queue and test fakes satisfy it.
+// *Queue and test fakes satisfy it. At/After are the closure-based
+// compatibility surface; Schedule is the zero-allocation typed path the
+// hot loops use.
 type Scheduler interface {
 	Now() int64
 	At(t int64, fn func(now int64))
 	After(delay int64, fn func(now int64))
+	Schedule(t int64, h Handler, i int64, p any)
 }
 
 var _ Scheduler = (*Queue)(nil)

@@ -1,0 +1,97 @@
+package hybrid
+
+import (
+	"testing"
+
+	"profess/internal/event"
+	"profess/internal/mem"
+)
+
+// benchSink is a pre-bound completion handler, matching how the cpu core
+// consumes the controller in production.
+type benchSink struct{ n int64 }
+
+func (s *benchSink) HandleEvent(int64, int64, any) { s.n++ }
+
+func newBenchHarness(b *testing.B) (*Controller, *event.Queue, []int64, Layout) {
+	b.Helper()
+	l, err := NewLayout(1<<20, 1, 128, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := NewAllocator(l, 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := &event.Queue{}
+	chCfg := mem.DefaultChannelConfig(l.M1Capacity()+l.STBytesPerChannel(), l.M2Capacity())
+	ch := mem.NewChannel(chCfg, q)
+	ctl, err := NewController(ControllerConfig{
+		Layout: l, STCEntries: 64, STCWays: 4, NumCores: 1, ModelSTTraffic: true,
+	}, []*mem.Channel{ch}, alloc, NoMigration{}, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vmap, err := alloc.Alloc(0, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctl, q, vmap, l
+}
+
+// BenchmarkController_Submit measures the full demand-access path — STC
+// lookup/miss, ST traffic, translation, channel round trip, completion —
+// over a working set that mixes STC hits and misses.
+func BenchmarkController_Submit(b *testing.B) {
+	ctl, q, vmap, l := newBenchHarness(b)
+	sink := &benchSink{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := vmap[i%len(vmap)]*l.PageBytes + int64(i%32)*64
+		ctl.SubmitHandler(0, addr, i%4 == 0, sink, int64(i))
+		q.Drain()
+	}
+	if sink.n != int64(b.N) {
+		b.Fatalf("completed %d of %d submits", sink.n, b.N)
+	}
+}
+
+// TestSubmitSteadyStateAllocs pins the controller's STC-hit fast path at
+// zero steady-state allocations per access: the pooled access records and
+// the typed event engine together leave nothing for the GC.
+func TestSubmitSteadyStateAllocs(t *testing.T) {
+	l, err := NewLayout(1<<20, 1, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := NewAllocator(l, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &event.Queue{}
+	chCfg := mem.DefaultChannelConfig(l.M1Capacity()+l.STBytesPerChannel(), l.M2Capacity())
+	ch := mem.NewChannel(chCfg, q)
+	ctl, err := NewController(ControllerConfig{
+		Layout: l, STCEntries: 64, STCWays: 4, NumCores: 1, ModelSTTraffic: true,
+	}, []*mem.Channel{ch}, alloc, NoMigration{}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmap, err := alloc.Alloc(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &benchSink{}
+	addr := vmap[0] * l.PageBytes
+	run := func() {
+		ctl.SubmitHandler(0, addr, false, sink, 0)
+		q.Drain()
+	}
+	for i := 0; i < 4096; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(1000, run); allocs != 0 {
+		t.Fatalf("STC-hit access: %v allocs, want 0", allocs)
+	}
+}

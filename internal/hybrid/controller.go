@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"fmt"
+	"math/bits"
 
 	"profess/internal/event"
 	"profess/internal/fault"
@@ -96,8 +97,17 @@ type Controller struct {
 	qac   []uint8 // persisted QAC per slot
 	m1    []uint8 // per group: slot currently resident in M1
 
-	swapping  []bool // per group: a swap is in flight
-	pendingST map[int64][]func(now int64)
+	swapping  []bool                // per group: a swap is in flight
+	pendingST map[int64][]*accessOp // STC-miss coalescing (MSHR-style)
+
+	// Freelists keep the steady-state hot path allocation-free: access
+	// records, ST fill/writeback records and pendingST waiter slices are
+	// recycled instead of garbage-collected. Single-threaded by the same
+	// rule as the rest of the controller.
+	opFree  []*accessOp
+	stFree  []*stFillOp
+	stwFree []*stWriteOp
+	cbFree  [][]*accessOp
 
 	Cores     []CoreStats
 	STReads   int64
@@ -113,6 +123,161 @@ type Controller struct {
 	// readHist tracks per-core read-latency distributions (64-cycle
 	// buckets up to 16K cycles), for tail-latency reporting.
 	readHist []*stats.Histogram
+
+	// xl holds the precomputed shift/mask forms of the layout's divisors
+	// and geo the per-channel bank/row decompositions: address translation
+	// runs on every demand access, and int64 divides dominate it otherwise.
+	xl  xlat
+	geo [][2]geoX
+}
+
+// shiftOf returns log2(v) when v is a positive power of two, else -1
+// (selecting the divide fallback in the translation fast path).
+func shiftOf(v int64) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(v))
+}
+
+// xlat is the precomputed translation arithmetic of a Layout. Every
+// divisor the per-access path needs is expressed as a shift/mask when it
+// is a power of two (the configurations in use all are); the -1 sentinel
+// falls back to the general divide so exotic layouts stay correct.
+type xlat struct {
+	blockShift int
+	blockMask  int64
+	blockBytes int64
+	groupShift int
+	groupMask  int64
+	groups     int64
+	chanShift  int
+	chanMask   int64
+	channels   int64
+	regShift   int // blocksPerPage shift (group -> page index)
+	regPow2    bool
+	regMask    int64
+	regions    int64
+	bpp        int64
+	gpc        int64 // groups per channel
+}
+
+func newXlat(l Layout) xlat {
+	bpp := int64(l.BlocksPerPage())
+	return xlat{
+		blockShift: shiftOf(l.BlockBytes),
+		blockMask:  l.BlockBytes - 1,
+		blockBytes: l.BlockBytes,
+		groupShift: shiftOf(l.Groups),
+		groupMask:  l.Groups - 1,
+		groups:     l.Groups,
+		chanShift:  shiftOf(int64(l.Channels)),
+		chanMask:   int64(l.Channels) - 1,
+		channels:   int64(l.Channels),
+		regShift:   shiftOf(bpp),
+		regPow2:    shiftOf(int64(l.Regions)) >= 0,
+		regMask:    int64(l.Regions) - 1,
+		regions:    int64(l.Regions),
+		bpp:        bpp,
+		gpc:        l.GroupsPerChannel(),
+	}
+}
+
+func (x *xlat) block(addr int64) int64 {
+	if x.blockShift >= 0 {
+		return addr >> uint(x.blockShift)
+	}
+	return addr / x.blockBytes
+}
+
+func (x *xlat) blockOffset(addr int64) int64 {
+	if x.blockShift >= 0 {
+		return addr & x.blockMask
+	}
+	return addr % x.blockBytes
+}
+
+func (x *xlat) group(block int64) int64 {
+	if x.groupShift >= 0 {
+		return block & x.groupMask
+	}
+	return block % x.groups
+}
+
+func (x *xlat) slot(block int64) int {
+	if x.groupShift >= 0 {
+		return int(block >> uint(x.groupShift))
+	}
+	return int(block / x.groups)
+}
+
+func (x *xlat) channel(group int64) int {
+	if x.chanShift >= 0 {
+		return int(group & x.chanMask)
+	}
+	return int(group % x.channels)
+}
+
+func (x *xlat) localGroup(group int64) int64 {
+	if x.chanShift >= 0 {
+		return group >> uint(x.chanShift)
+	}
+	return group / x.channels
+}
+
+func (x *xlat) region(group int64) int {
+	page := group
+	if x.regShift >= 0 {
+		page >>= uint(x.regShift)
+	} else {
+		page /= x.bpp
+	}
+	if x.regPow2 {
+		return int(page & x.regMask)
+	}
+	return int(page % x.regions)
+}
+
+// locationOf mirrors Layout.LocationOf on the precomputed constants.
+func (x *xlat) locationOf(group int64, loc int) Location {
+	lg := x.localGroup(group)
+	if loc == 0 {
+		return Location{Module: mem.M1, ByteAddr: lg * x.blockBytes}
+	}
+	idx := int64(loc-1)*x.gpc + lg
+	return Location{Module: mem.M2, ByteAddr: idx * x.blockBytes}
+}
+
+// geoX is a Geometry with its decomposition divisors pre-resolved.
+type geoX struct {
+	rowShift  int
+	rowBytes  int64
+	bankShift int
+	bankMask  int64
+	banks     int64
+}
+
+func newGeoX(g mem.Geometry) geoX {
+	return geoX{
+		rowShift:  shiftOf(g.RowBytes),
+		rowBytes:  g.RowBytes,
+		bankShift: shiftOf(int64(g.Banks)),
+		bankMask:  int64(g.Banks) - 1,
+		banks:     int64(g.Banks),
+	}
+}
+
+func (x *geoX) decompose(addr int64) (bank int, row int64) {
+	var rowIdx int64
+	if x.rowShift >= 0 {
+		rowIdx = addr >> uint(x.rowShift)
+	} else {
+		rowIdx = addr / x.rowBytes
+	}
+	if x.bankShift >= 0 {
+		return int(rowIdx & x.bankMask), rowIdx >> uint(x.bankShift)
+	}
+	return int(rowIdx % x.banks), rowIdx / x.banks
 }
 
 // NewController wires the controller to its channels and event scheduler.
@@ -145,7 +310,7 @@ func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator,
 		qac:       make([]uint8, l.Groups*int64(l.Slots())),
 		m1:        make([]uint8, l.Groups),
 		swapping:  make([]bool, l.Groups),
-		pendingST: make(map[int64][]func(now int64)),
+		pendingST: make(map[int64][]*accessOp),
 		Cores:     make([]CoreStats, cfg.NumCores),
 	}
 	for i := 0; i < cfg.NumCores; i++ {
@@ -164,6 +329,14 @@ func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator,
 			return nil, err
 		}
 		c.stcs = append(c.stcs, stc)
+	}
+	c.xl = newXlat(l)
+	for _, ch := range chans {
+		chCfg := ch.Config()
+		c.geo = append(c.geo, [2]geoX{
+			mem.M1: newGeoX(chCfg.M1Geom),
+			mem.M2: newGeoX(chCfg.M2Geom),
+		})
 	}
 	return c, nil
 }
@@ -235,136 +408,266 @@ func (c *Controller) ReadLatencyGap() int64 {
 	return cfg.M2Timing.ReadMissLatency() - cfg.M1Timing.ReadMissLatency()
 }
 
+// accessOp is the pooled per-access record of one demand access moving
+// through the controller. It replaces the chain of closures the previous
+// Submit/serve allocated per access: the embedded Request is what the
+// channel queues, the record is the request's completion sink (mem.Doner)
+// and its own retry timer (event.Handler), so a steady-state access
+// allocates nothing.
+type accessOp struct {
+	c        *Controller
+	core     int
+	group    int64
+	slot     int
+	chIdx    int
+	origAddr int64
+	write    bool
+	submitAt int64
+	attempt  int
+	done     event.Handler // handler-based completion (zero-alloc path)
+	token    int64
+	onDone   func(now, latency int64) // closure-based completion (compat)
+	req      mem.Request
+}
+
+// newOp checks an access record out of the freelist.
+func (c *Controller) newOp(core int, origAddr int64, write bool) *accessOp {
+	var op *accessOp
+	if n := len(c.opFree); n > 0 {
+		op = c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+	} else {
+		op = new(accessOp)
+	}
+	block := c.xl.block(origAddr)
+	op.c = c
+	op.core = core
+	op.group = c.xl.group(block)
+	op.slot = c.xl.slot(block)
+	op.chIdx = c.xl.channel(op.group)
+	op.origAddr = origAddr
+	op.write = write
+	op.submitAt = c.sched.Now()
+	op.attempt = 0
+	return op
+}
+
+// releaseOp returns a completed record to the freelist, dropping payload
+// references so they do not outlive the access.
+func (c *Controller) releaseOp(op *accessOp) {
+	*op = accessOp{}
+	c.opFree = append(c.opFree, op)
+}
+
+// RequestDone implements mem.Doner: the access's data burst completed.
+// Transient NVM failures are retried with bounded exponential backoff; the
+// observed latency then includes every failed attempt. Past the retry
+// budget the burst is dropped — counted, and completed so the pipeline
+// does not wedge (the simulated data is synthetic anyway).
+func (op *accessOp) RequestDone(now int64, r *mem.Request) {
+	c := op.c
+	if r.Faulted && op.attempt < c.cfg.RetryMax {
+		op.attempt++
+		c.Resilience.Retries++
+		c.sched.Schedule(now+c.cfg.RetryBackoff<<(op.attempt-1), op, 0, nil)
+		return
+	}
+	if r.Faulted {
+		c.Resilience.Drops++
+	}
+	if !op.write {
+		cs := &c.Cores[op.core]
+		cs.ReadLat += now - op.submitAt
+		cs.ReadCount++
+		c.readHist[op.core].Add(float64(now - op.submitAt))
+	}
+	latency := now - op.submitAt
+	done, token, onDone := op.done, op.token, op.onDone
+	c.releaseOp(op)
+	if done != nil {
+		done.HandleEvent(now, token, nil)
+	} else if onDone != nil {
+		onDone(now, latency)
+	}
+}
+
+// HandleEvent implements event.Handler for the retry backoff timer: the
+// transiently-failed burst is re-issued to the channel.
+func (op *accessOp) HandleEvent(int64, int64, any) {
+	op.req.Faulted = false
+	op.c.chans[op.chIdx].Enqueue(&op.req)
+}
+
+// stFillOp is the pooled record of one Swap-group Table line fill (the M1
+// read an STC miss issues). first is the access that triggered the miss;
+// coalesced followers wait in pendingST.
+type stFillOp struct {
+	c     *Controller
+	first *accessOp
+	req   mem.Request
+}
+
+// RequestDone implements mem.Doner: the ST line arrived, fill the STC and
+// drain the waiters.
+func (f *stFillOp) RequestDone(int64, *mem.Request) {
+	c, first := f.c, f.first
+	*f = stFillOp{}
+	c.stFree = append(c.stFree, f)
+	c.fillGroup(first)
+}
+
+// stWriteOp is the pooled record of one dirty Swap-group Table writeback;
+// its only completion duty is returning itself to the freelist.
+type stWriteOp struct {
+	c   *Controller
+	req mem.Request
+}
+
+// RequestDone implements mem.Doner.
+func (w *stWriteOp) RequestDone(int64, *mem.Request) {
+	*w = stWriteOp{c: w.c}
+	w.c.stwFree = append(w.c.stwFree, w)
+}
+
+// takeWaiters checks a pendingST waiter slice out of the recycling pool
+// (nil when none is banked — map presence is what marks the group busy).
+func (c *Controller) takeWaiters() []*accessOp {
+	if n := len(c.cbFree); n > 0 {
+		s := c.cbFree[n-1]
+		c.cbFree = c.cbFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putWaiters banks a drained waiter slice's capacity for reuse.
+func (c *Controller) putWaiters(s []*accessOp) {
+	if cap(s) == 0 {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	c.cbFree = append(c.cbFree, s[:0])
+}
+
 // Submit admits one 64-B demand access at the original physical address.
 // onDone (optional) fires when the data burst completes, with the total
-// latency from submission.
+// latency from submission. This is the closure-based compatibility
+// surface; hot paths use SubmitHandler.
 func (c *Controller) Submit(core int, origAddr int64, write bool, onDone func(now, latency int64)) {
-	submitAt := c.sched.Now()
-	block := origAddr / c.layout.BlockBytes
-	group := c.layout.Group(block)
-	slot := c.layout.Slot(block)
-	chIdx := c.layout.Channel(group)
-	stc := c.stcs[chIdx]
+	op := c.newOp(core, origAddr, write)
+	op.onDone = onDone
+	c.submit(op)
+}
 
-	if e := stc.Lookup(group); e != nil {
-		c.Cores[core].STCHits++
-		c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
+// SubmitHandler is the zero-allocation variant of Submit: completion is
+// delivered as done.HandleEvent(now, token, nil) on a pre-bound handler
+// instead of a freshly-allocated closure.
+func (c *Controller) SubmitHandler(core int, origAddr int64, write bool, done event.Handler, token int64) {
+	op := c.newOp(core, origAddr, write)
+	op.done = done
+	op.token = token
+	c.submit(op)
+}
+
+func (c *Controller) submit(op *accessOp) {
+	stc := c.stcs[op.chIdx]
+	if e := stc.Lookup(op.group); e != nil {
+		c.Cores[op.core].STCHits++
+		c.serve(op, e)
 		return
 	}
-	c.Cores[core].STCMisses++
+	c.Cores[op.core].STCMisses++
 	// Coalesce concurrent misses to the same group (MSHR-style).
-	if cbs, busy := c.pendingST[group]; busy {
-		c.pendingST[group] = append(cbs, func(now int64) {
-			e := stc.Peek(group)
-			c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
-		})
+	if waiters, busy := c.pendingST[op.group]; busy {
+		c.pendingST[op.group] = append(waiters, op)
 		return
 	}
-	c.pendingST[group] = nil
-	fill := func(now int64) {
-		qac := c.qacAt(group)
-		if c.inj.Fire(fault.QACCorruption) {
-			// ST metadata corrupted on the fill path: one QAC value of
-			// this entry arrives scrambled (possibly out of range — the
-			// monitoring layer's sanity checks are the defense).
-			s := c.inj.Intn(int(c.slots))
-			qac[s] = c.inj.CorruptByte(qac[s])
-		}
-		if ev := stc.Insert(group, qac); ev != nil {
-			c.handleEviction(chIdx, ev)
-		}
-		e := stc.Peek(group)
-		c.serve(core, group, slot, origAddr, write, e, submitAt, onDone)
-		cbs := c.pendingST[group]
-		delete(c.pendingST, group)
-		for _, cb := range cbs {
-			cb(now)
-		}
-	}
+	c.pendingST[op.group] = c.takeWaiters()
 	if !c.cfg.ModelSTTraffic {
-		fill(c.sched.Now())
+		c.fillGroup(op)
 		return
 	}
 	c.STReads++
-	bank, row := c.chans[chIdx].Config().M1Geom.Decompose(c.layout.STLineAddr(group))
-	c.chans[chIdx].Enqueue(&mem.Request{
-		Module: mem.M1, Bank: bank, Row: row, Core: -1,
-		OnDone: fill,
-	})
+	var f *stFillOp
+	if n := len(c.stFree); n > 0 {
+		f = c.stFree[n-1]
+		c.stFree = c.stFree[:n-1]
+	} else {
+		f = new(stFillOp)
+	}
+	f.c = c
+	f.first = op
+	bank, row := c.geo[op.chIdx][mem.M1].decompose(c.layout.STLineAddr(op.group))
+	f.req = mem.Request{Module: mem.M1, Bank: bank, Row: row, Core: -1, Done: f}
+	c.chans[op.chIdx].Enqueue(&f.req)
+}
+
+// fillGroup installs a group's ST line into the STC and serves the access
+// that missed plus every coalesced waiter.
+func (c *Controller) fillGroup(first *accessOp) {
+	group, chIdx := first.group, first.chIdx
+	stc := c.stcs[chIdx]
+	qac := c.qacAt(group)
+	if c.inj.Fire(fault.QACCorruption) {
+		// ST metadata corrupted on the fill path: one QAC value of this
+		// entry arrives scrambled (possibly out of range — the monitoring
+		// layer's sanity checks are the defense).
+		s := c.inj.Intn(int(c.slots))
+		qac[s] = c.inj.CorruptByte(qac[s])
+	}
+	if ev := stc.Insert(group, qac); ev != nil {
+		c.handleEviction(chIdx, ev)
+	}
+	c.serve(first, stc.Peek(group))
+	waiters := c.pendingST[group]
+	delete(c.pendingST, group)
+	for _, w := range waiters {
+		c.serve(w, stc.Peek(group))
+	}
+	c.putWaiters(waiters)
 }
 
 // serve translates and issues the demand access, updates counters, and
 // consults the migration policy.
-func (c *Controller) serve(core int, group int64, slot int, origAddr int64, write bool, e *STCEntry, submitAt int64, onDone func(now, latency int64)) {
-	loc := c.permAt(group, slot)
+func (c *Controller) serve(op *accessOp, e *STCEntry) {
+	loc := c.permAt(op.group, op.slot)
 	weight := 1
-	if write {
+	if op.write {
 		weight = c.policy.WriteWeight()
 	}
-	e.Bump(slot, weight)
+	e.Bump(op.slot, weight)
 
-	region := c.layout.Region(group)
-	private := c.alloc.IsPrivate(core, region)
+	region := c.xl.region(op.group)
+	private := c.alloc.IsPrivate(op.core, region)
 	fromM1 := loc == 0
-	cs := &c.Cores[core]
+	cs := &c.Cores[op.core]
 	cs.Served++
 	if fromM1 {
 		cs.ServedM1++
 	}
-	if write {
+	if op.write {
 		cs.Writes++
 	} else {
 		cs.Reads++
 	}
-	c.policy.OnServed(core, region, private, fromM1)
+	c.policy.OnServed(op.core, region, private, fromM1)
 	c.policy.OnAccess(AccessInfo{
 		Now:   c.sched.Now(),
-		Core:  core,
-		Group: group,
-		Slot:  slot,
+		Core:  op.core,
+		Group: op.group,
+		Slot:  op.slot,
 		Loc:   loc,
-		Write: write,
+		Write: op.write,
 		Entry: e,
 	}, c)
 
-	chIdx := c.layout.Channel(group)
-	location := c.layout.LocationOf(group, loc)
-	offset := origAddr % c.layout.BlockBytes
-	geom := c.chans[chIdx].Config().Geom(location.Module)
-	bank, row := geom.Decompose(location.ByteAddr + offset)
-	complete := func(now int64) {
-		if !write {
-			cs.ReadLat += now - submitAt
-			cs.ReadCount++
-			c.readHist[core].Add(float64(now - submitAt))
-		}
-		if onDone != nil {
-			onDone(now, now-submitAt)
-		}
-	}
-	// Transient NVM failures are retried with bounded exponential backoff;
-	// the observed latency then includes every failed attempt. Past the
-	// retry budget the burst is dropped — counted, and completed so the
-	// pipeline does not wedge (the simulated data is synthetic anyway).
-	attempt := 0
-	var issue func()
-	issue = func() {
-		req := &mem.Request{Module: location.Module, Bank: bank, Row: row, IsWrite: write, Core: core}
-		req.OnDone = func(now int64) {
-			if req.Faulted && attempt < c.cfg.RetryMax {
-				attempt++
-				c.Resilience.Retries++
-				c.sched.After(c.cfg.RetryBackoff<<(attempt-1), func(int64) { issue() })
-				return
-			}
-			if req.Faulted {
-				c.Resilience.Drops++
-			}
-			complete(now)
-		}
-		c.chans[chIdx].Enqueue(req)
-	}
-	issue()
+	location := c.xl.locationOf(op.group, loc)
+	offset := c.xl.blockOffset(op.origAddr)
+	bank, row := c.geo[op.chIdx][location.Module].decompose(location.ByteAddr + offset)
+	op.req = mem.Request{Module: location.Module, Bank: bank, Row: row, IsWrite: op.write, Core: op.core, Done: op}
+	c.chans[op.chIdx].Enqueue(&op.req)
 }
 
 // handleEviction persists QAC updates, feeds MDM statistics, and issues
@@ -385,10 +688,16 @@ func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
 	}
 	if ev.Dirty && c.cfg.ModelSTTraffic {
 		c.STWrites++
-		bank, row := c.chans[chIdx].Config().M1Geom.Decompose(c.layout.STLineAddr(ev.Group))
-		c.chans[chIdx].Enqueue(&mem.Request{
-			Module: mem.M1, Bank: bank, Row: row, IsWrite: true, Core: -1,
-		})
+		var w *stWriteOp
+		if n := len(c.stwFree); n > 0 {
+			w = c.stwFree[n-1]
+			c.stwFree = c.stwFree[:n-1]
+		} else {
+			w = &stWriteOp{c: c}
+		}
+		bank, row := c.geo[chIdx][mem.M1].decompose(c.layout.STLineAddr(ev.Group))
+		w.req = mem.Request{Module: mem.M1, Bank: bank, Row: row, IsWrite: true, Core: -1, Done: w}
+		c.chans[chIdx].Enqueue(&w.req)
 	}
 }
 

@@ -89,9 +89,16 @@ type STCEviction struct {
 type STC struct {
 	sets     int
 	ways     int
-	indexDiv int64 // global-group stride between entries of one channel
-	lines    [][]STCEntry
+	indexDiv int64      // global-group stride between entries of one channel
+	lines    []STCEntry // sets*ways entries, set-major
+	tags     []int64    // parallel residency tags: group number, or -1
 	clock    int64
+
+	// set-index fast path: shift/mask forms of indexDiv and sets when
+	// they are powers of two (-1 selects the divide fallback).
+	divShift int
+	setShift int
+	setMask  int64
 
 	Hits   int64
 	Misses int64
@@ -108,10 +115,14 @@ func NewSTC(entries, ways int, indexDiv int64) (*STC, error) {
 		indexDiv = 1
 	}
 	s := &STC{sets: entries / ways, ways: ways, indexDiv: indexDiv}
-	s.lines = make([][]STCEntry, s.sets)
-	for i := range s.lines {
-		s.lines[i] = make([]STCEntry, ways)
+	s.lines = make([]STCEntry, entries)
+	s.tags = make([]int64, entries)
+	for i := range s.tags {
+		s.tags[i] = -1
 	}
+	s.divShift = shiftOf(indexDiv)
+	s.setShift = shiftOf(int64(s.sets))
+	s.setMask = int64(s.sets) - 1
 	return s, nil
 }
 
@@ -120,18 +131,30 @@ func (s *STC) Entries() int { return s.sets * s.ways }
 
 // set returns the set index for a global group number.
 func (s *STC) set(group int64) int {
-	return int((group / s.indexDiv) % int64(s.sets))
+	local := group
+	if s.divShift >= 0 {
+		local >>= uint(s.divShift)
+	} else {
+		local /= s.indexDiv
+	}
+	if s.setShift >= 0 {
+		return int(local & s.setMask)
+	}
+	return int(local % int64(s.sets))
 }
 
 // Lookup returns the resident entry for group, counting a hit or miss.
+// The residency scan runs over the compact tag array; the wide entries are
+// only touched on a hit.
 func (s *STC) Lookup(group int64) *STCEntry {
-	ways := s.lines[s.set(group)]
+	base := s.set(group) * s.ways
 	s.clock++
-	for i := range ways {
-		if ways[i].valid && ways[i].Group == group {
-			ways[i].lru = s.clock
+	for i, t := range s.tags[base : base+s.ways] {
+		if t == group {
+			e := &s.lines[base+i]
+			e.lru = s.clock
 			s.Hits++
-			return &ways[i]
+			return e
 		}
 	}
 	s.Misses++
@@ -140,10 +163,10 @@ func (s *STC) Lookup(group int64) *STCEntry {
 
 // Peek returns the resident entry without LRU/stat updates, or nil.
 func (s *STC) Peek(group int64) *STCEntry {
-	ways := s.lines[s.set(group)]
-	for i := range ways {
-		if ways[i].valid && ways[i].Group == group {
-			return &ways[i]
+	base := s.set(group) * s.ways
+	for i, t := range s.tags[base : base+s.ways] {
+		if t == group {
+			return &s.lines[base+i]
 		}
 	}
 	return nil
@@ -154,7 +177,8 @@ func (s *STC) Peek(group int64) *STCEntry {
 // entry's eviction record, or nil if an invalid way was used. The caller
 // must have established the entry is absent (Lookup returned nil).
 func (s *STC) Insert(group int64, qac [MaxSlots]uint8) *STCEviction {
-	ways := s.lines[s.set(group)]
+	base := s.set(group) * s.ways
+	ways := s.lines[base : base+s.ways]
 	s.clock++
 	victim := 0
 	for i := range ways {
@@ -171,6 +195,7 @@ func (s *STC) Insert(group int64, qac [MaxSlots]uint8) *STCEviction {
 		ev = s.evictionRecord(&ways[victim])
 	}
 	ways[victim] = STCEntry{Group: group, valid: true, lru: s.clock, QInsert: qac}
+	s.tags[base+victim] = group
 	return ev
 }
 
@@ -203,13 +228,12 @@ func (s *STC) MarkDirty(group int64) {
 // statistics are not lost, and by tests.
 func (s *STC) FlushAll() []*STCEviction {
 	var out []*STCEviction
-	for si := range s.lines {
-		for wi := range s.lines[si] {
-			e := &s.lines[si][wi]
-			if e.valid {
-				out = append(out, s.evictionRecord(e))
-				*e = STCEntry{}
-			}
+	for i := range s.lines {
+		e := &s.lines[i]
+		if e.valid {
+			out = append(out, s.evictionRecord(e))
+			*e = STCEntry{}
+			s.tags[i] = -1
 		}
 	}
 	return out

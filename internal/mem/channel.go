@@ -72,6 +72,15 @@ func (c ChannelConfig) SwapLatency() int64 {
 	return m2ReadDone + n*t2.Burst + t2.TWR
 }
 
+// qent is one queue slot: the request plus the scan keys the FR-FCFS-Cap
+// loop needs, kept inline so pick walks contiguous memory instead of
+// chasing a *Request per element.
+type qent struct {
+	r   *Request
+	b   *bank
+	row int64
+}
+
 type bank struct {
 	openRow            int64 // -1 when closed
 	busyUntil          int64 // earliest next column/activate command
@@ -91,8 +100,8 @@ type Channel struct {
 
 	banks        [2][]bank
 	busFreeAt    int64
-	blockedUntil int64 // swaps block the whole channel
-	queue        []*Request
+	blockedUntil int64  // swaps block the whole channel
+	queue        []qent // pending requests in age order
 	nextSeq      int64
 	refCounted   [2]int64 // refresh windows accounted per partition
 
@@ -155,14 +164,40 @@ func (ch *Channel) RegisterTelemetry(s *telemetry.Sampler, prefix string) {
 	s.Counter(prefix+".swaps", func() int64 { return ch.Counts.Swaps })
 }
 
+// Channel event kinds for the typed scheduling path.
+const (
+	chEvComplete int64 = iota // p = *Request whose data burst completed
+	chEvDispatch              // retry dispatch after a swap block clears
+)
+
+// HandleEvent implements event.Handler: the channel receives its own burst
+// completions and deferred dispatch retries as typed events, so the hot
+// path schedules no closures.
+func (ch *Channel) HandleEvent(now int64, i int64, p any) {
+	switch i {
+	case chEvComplete:
+		r := p.(*Request)
+		ch.banks[r.Module][r.Bank].inflight = false
+		if r.Done != nil {
+			r.Done.RequestDone(now, r)
+		} else if r.OnDone != nil {
+			r.OnDone(now)
+		}
+		ch.tryDispatch(now)
+	case chEvDispatch:
+		ch.tryDispatch(now)
+	}
+}
+
 // Enqueue admits a request to the channel at the current time and attempts
-// to dispatch. The request's OnDone fires when its data burst completes.
+// to dispatch. The request's Done (or OnDone) fires when its data burst
+// completes.
 func (ch *Channel) Enqueue(r *Request) {
 	now := ch.sched.Now()
 	r.Arrival = now
 	ch.nextSeq++
 	r.seq = ch.nextSeq
-	ch.queue = append(ch.queue, r)
+	ch.queue = append(ch.queue, qent{r: r, b: &ch.banks[r.Module][r.Bank], row: r.Row})
 	ch.queueDepthSum += int64(len(ch.queue))
 	ch.queueSamples++
 	if ch.inj.Fire(fault.ChannelStall) {
@@ -184,8 +219,7 @@ func (ch *Channel) Enqueue(r *Request) {
 func (ch *Channel) tryDispatch(now int64) {
 	if now < ch.blockedUntil {
 		// The channel is blocked by a swap; retry when it unblocks.
-		at := ch.blockedUntil
-		ch.sched.At(at, func(t int64) { ch.tryDispatch(t) })
+		ch.sched.Schedule(ch.blockedUntil, ch, chEvDispatch, nil)
 		return
 	}
 	for {
@@ -193,8 +227,11 @@ func (ch *Channel) tryDispatch(now int64) {
 		if idx < 0 {
 			return
 		}
-		r := ch.queue[idx]
-		ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+		r := ch.queue[idx].r
+		n := len(ch.queue) - 1
+		copy(ch.queue[idx:], ch.queue[idx+1:])
+		ch.queue[n] = qent{} // drop the stale *Request reference
+		ch.queue = ch.queue[:n]
 		ch.issue(now, r)
 	}
 }
@@ -202,15 +239,17 @@ func (ch *Channel) tryDispatch(now int64) {
 // pick returns the queue index to issue next, or -1 if nothing can issue.
 func (ch *Channel) pick() int {
 	firstReady := -1
-	for i, r := range ch.queue {
-		b := &ch.banks[r.Module][r.Bank]
+	cap := ch.cfg.RowHitCap
+	for i := range ch.queue {
+		e := &ch.queue[i]
+		b := e.b
 		if b.inflight {
 			continue
 		}
 		if firstReady < 0 {
 			firstReady = i
 		}
-		if b.openRow == r.Row && b.hitStreak < ch.cfg.RowHitCap {
+		if b.openRow == e.row && b.hitStreak < cap {
 			return i // oldest capped row hit wins
 		}
 	}
@@ -288,13 +327,7 @@ func (ch *Channel) issue(now int64, r *Request) {
 			r.Faulted = ch.inj.Fire(fault.NVMReadTransient)
 		}
 	}
-	ch.sched.At(done, func(tNow int64) {
-		b.inflight = false
-		if r.OnDone != nil {
-			r.OnDone(tNow)
-		}
-		ch.tryDispatch(tNow)
-	})
+	ch.sched.Schedule(done, ch, chEvComplete, r)
 }
 
 // SwapLocation names one 2-KB block's physical placement for a swap.

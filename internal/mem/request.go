@@ -1,5 +1,13 @@
 package mem
 
+// Doner receives request completions without a per-access closure: the
+// channel calls RequestDone(now, r) when r's data burst finishes. Hot-path
+// submitters implement it on pooled per-access records so a steady-state
+// access allocates nothing.
+type Doner interface {
+	RequestDone(now int64, r *Request)
+}
+
 // Request is one 64-B memory access presented to a channel after address
 // translation: it names an actual physical location (partition, bank, row)
 // rather than an original OS address.
@@ -14,8 +22,15 @@ type Request struct {
 	// to the memory controller itself, e.g. Swap-group Table traffic).
 	Core int
 
-	// OnDone, if non-nil, is invoked when the request's data burst
-	// completes. now is the completion cycle.
+	// Done, if non-nil, receives the completion of the request's data
+	// burst. It takes precedence over OnDone and is the zero-allocation
+	// path: submitters implement Doner on a pooled per-access record and
+	// bind it once, instead of allocating a closure per access.
+	Done Doner
+
+	// OnDone, if non-nil (and Done is nil), is invoked when the request's
+	// data burst completes. now is the completion cycle. Retained as the
+	// closure-based compatibility surface for tests and simple callers.
 	OnDone func(now int64)
 
 	// Faulted is set by the channel (before OnDone fires) when a fault

@@ -62,19 +62,30 @@ type PoM struct {
 	threshold  uint32
 	prohibited bool
 
-	groups map[int64]*pomGroup
-	// epoch statistics: M2 accesses per (group, slot)
-	epochCounts   map[int64]uint32
+	// groups holds the per-swap-group competing counter, indexed by group
+	// number and grown on demand (the policy does not know the layout's
+	// group count up front). Dense storage keeps the per-access path free
+	// of map probes.
+	groups []pomGroup
+	// epoch statistics: M2 accesses per (group, slot), dense at
+	// group*MaxSlots+slot with the touched keys listed aside so an epoch
+	// roll-over only visits counters that are actually non-zero.
+	epochCounts   []uint32
+	touched       []int64
 	epochAccesses int64
+	histBuf       []uint32 // reusable endEpoch scratch
 
 	// ThresholdHistory records the threshold chosen at each epoch
 	// boundary (0 = prohibited), for tests and reporting.
 	ThresholdHistory []uint32
 }
 
+// pomGroup is one group's competing counter. The candidate slot is stored
+// +1 so the zero value means "no candidate" and freshly-grown slice tails
+// need no initialisation.
 type pomGroup struct {
-	candidate int8 // slot of the current M2 candidate, -1 none
-	counter   uint32
+	candP1  int8 // current M2 candidate slot + 1, 0 none
+	counter uint32
 }
 
 // NewPoM builds the policy.
@@ -89,11 +100,42 @@ func NewPoM(cfg PoMConfig) *PoM {
 		cfg.WriteWeight = 1
 	}
 	return &PoM{
-		cfg:         cfg,
-		threshold:   cfg.K, // start near the cost-balanced point
-		groups:      make(map[int64]*pomGroup),
-		epochCounts: make(map[int64]uint32),
+		cfg:       cfg,
+		threshold: cfg.K, // start near the cost-balanced point
 	}
+}
+
+// group returns the competing counter of g, growing the dense table as
+// larger group numbers appear.
+func (p *PoM) group(g int64) *pomGroup {
+	if n := int64(len(p.groups)); n <= g {
+		grown := make([]pomGroup, growSize(g, n))
+		copy(grown, p.groups)
+		p.groups = grown
+	}
+	return &p.groups[g]
+}
+
+// count returns the epoch counter cell for key k, growing on demand.
+func (p *PoM) count(k int64) *uint32 {
+	if n := int64(len(p.epochCounts)); n <= k {
+		grown := make([]uint32, growSize(k, n))
+		copy(grown, p.epochCounts)
+		p.epochCounts = grown
+	}
+	return &p.epochCounts[k]
+}
+
+// growSize doubles from the current size until index fits (min 1024).
+func growSize(index, cur int64) int64 {
+	n := cur
+	if n < 1024 {
+		n = 1024
+	}
+	for n <= index {
+		n *= 2
+	}
+	return n
 }
 
 // Name implements hybrid.Policy.
@@ -121,29 +163,30 @@ func (p *PoM) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 	}
 	p.epochAccesses += int64(weight)
 
-	g := p.groups[info.Group]
-	if g == nil {
-		g = &pomGroup{candidate: -1}
-		p.groups[info.Group] = g
-	}
+	g := p.group(info.Group)
 	if info.Loc == 0 {
 		// Access to the M1 resident decays the challenger.
 		if g.counter > 0 {
 			g.counter--
 		}
 	} else {
-		p.epochCounts[key(info.Group, info.Slot)] += weight
-		if g.candidate == int8(info.Slot) {
+		slotP1 := int8(info.Slot) + 1
+		cell := p.count(key(info.Group, info.Slot))
+		if *cell == 0 {
+			p.touched = append(p.touched, key(info.Group, info.Slot))
+		}
+		*cell += weight
+		if g.candP1 == slotP1 {
 			g.counter += weight
 		} else if g.counter <= weight {
-			g.candidate = int8(info.Slot)
+			g.candP1 = slotP1
 			g.counter = weight
 		} else {
 			g.counter -= weight
 		}
-		if !p.prohibited && g.candidate == int8(info.Slot) && g.counter >= p.threshold {
+		if !p.prohibited && g.candP1 == slotP1 && g.counter >= p.threshold {
 			if ctl.ScheduleSwap(info.Group, info.Slot) {
-				g.candidate = -1
+				g.candP1 = 0
 				g.counter = 0
 			}
 		}
@@ -156,9 +199,9 @@ func (p *PoM) OnAccess(info hybrid.AccessInfo, ctl hybrid.PolicyContext) {
 // endEpoch re-chooses the global threshold from the epoch's M2 access
 // histogram.
 func (p *PoM) endEpoch() {
-	counts := make([]uint32, 0, len(p.epochCounts))
-	for _, c := range p.epochCounts {
-		counts = append(counts, c)
+	counts := p.histBuf[:0]
+	for _, k := range p.touched {
+		counts = append(counts, p.epochCounts[k])
 	}
 	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
 
@@ -186,7 +229,11 @@ func (p *PoM) endEpoch() {
 		p.threshold = bestT
 	}
 	p.ThresholdHistory = append(p.ThresholdHistory, p.Threshold())
-	p.epochCounts = make(map[int64]uint32)
+	for _, k := range p.touched {
+		p.epochCounts[k] = 0
+	}
+	p.touched = p.touched[:0]
+	p.histBuf = counts[:0] // bank the sorted scratch for the next epoch
 	p.epochAccesses = 0
 }
 

@@ -140,8 +140,11 @@ type l3Frontend struct {
 	perCoreMisses []int64
 }
 
-// Access implements cpu.Memory.
-func (f *l3Frontend) Access(coreID int, addr int64, write bool, onDone func(now int64)) {
+// Access implements cpu.Memory. The (done, token) pair is threaded through
+// unchanged — to the event calendar on a hit, to the controller's
+// handler-based submit path on a miss — so no closure is allocated on
+// either path.
+func (f *l3Frontend) Access(coreID int, addr int64, write bool, done event.Handler, token int64) {
 	hit, ev, evicted := f.l3.Access(addr, write)
 	if evicted && ev.Dirty {
 		// Posted writeback: the core does not wait for it.
@@ -149,11 +152,11 @@ func (f *l3Frontend) Access(coreID int, addr int64, write bool, onDone func(now 
 	}
 	if hit {
 		f.perCoreHits[coreID]++
-		f.sched.After(f.hitLat, onDone)
+		f.sched.Schedule(f.sched.Now()+f.hitLat, done, token, nil)
 		return
 	}
 	f.perCoreMisses[coreID]++
-	f.ctl.Submit(coreID, addr, false, func(now, latency int64) { onDone(now) })
+	f.ctl.SubmitHandler(coreID, addr, false, done, token)
 }
 
 // System is a fully-wired simulated machine, exposed so examples and tests

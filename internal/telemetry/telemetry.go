@@ -71,6 +71,7 @@ type Sampler struct {
 	capacity int
 	probes   []probe
 	started  bool
+	sched    event.Scheduler // set at Start; re-arms the epoch tick
 
 	epoch     int64
 	lastCycle int64
@@ -150,12 +151,14 @@ func (s *Sampler) Start(sched event.Scheduler) {
 		return
 	}
 	s.started = true
-	var tick func(now int64)
-	tick = func(now int64) {
-		s.sample(now)
-		sched.At(now+s.every, tick)
-	}
-	sched.At(sched.Now()+s.every, tick)
+	s.sched = sched
+	sched.Schedule(sched.Now()+s.every, s, 0, nil)
+}
+
+// HandleEvent implements event.Handler: one epoch tick — sample and re-arm.
+func (s *Sampler) HandleEvent(now int64, _ int64, _ any) {
+	s.sample(now)
+	s.sched.Schedule(now+s.every, s, 0, nil)
 }
 
 // Finish takes a final partial-epoch snapshot at the given cycle, so runs

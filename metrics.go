@@ -119,7 +119,7 @@ func RunWorkload(name string, scheme Scheme, cfg Config, cache *BaselineCache) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(cfg, specs, scheme)
+	res, err := runSim(cfg, specs, scheme)
 	if err != nil {
 		return nil, err
 	}

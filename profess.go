@@ -112,13 +112,21 @@ func Programs() []Program { return workload.Programs() }
 // Workloads returns the Table 10 multiprogrammed mixes.
 func Workloads() []Workload { return workload.Workloads() }
 
+// runSimUncached executes one simulation, unconditionally. runSim (the
+// cache-aware funnel in runcache.go) wraps it; every scheme-based entry
+// point below goes through runSim, so identical runs within one process
+// are memoised. See SetRunCaching to opt out.
+func runSimUncached(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	return sim.Run(cfg, specs, scheme)
+}
+
 // RunProgram runs one named Table 9 program under the given scheme.
 func RunProgram(name string, scheme Scheme, cfg Config) (*Result, error) {
 	spec, err := sim.SpecForProgram(name, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg, []ProgramSpec{spec}, scheme)
+	return runSim(cfg, []ProgramSpec{spec}, scheme)
 }
 
 // RunMix runs a Table 10 workload (by name) under the given scheme,
@@ -133,13 +141,13 @@ func RunMix(name string, scheme Scheme, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg, specs, scheme)
+	return runSim(cfg, specs, scheme)
 }
 
 // RunSpecs runs explicit program specs under the given scheme — the
 // entry point for custom workloads and custom generator parameters.
 func RunSpecs(specs []ProgramSpec, scheme Scheme, cfg Config) (*Result, error) {
-	return sim.Run(cfg, specs, scheme)
+	return runSim(cfg, specs, scheme)
 }
 
 // Migration-policy extension surface: user code can implement Policy (most

@@ -1,0 +1,130 @@
+package profess
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// The run cache memoises whole simulations keyed on their complete input —
+// (Config, specs, Scheme) — so sweeps and ablation suites that revisit the
+// same cell (every stand-alone baseline, every shared PoM reference
+// column) pay for it once per process. Simulations are deterministic
+// functions of that key, which is what makes memoisation sound.
+//
+// Cached *Results are shared between callers and must be treated as
+// immutable; every driver in this package already does. Runs that are not
+// pure functions of the key bypass the cache: a custom trace Source (its
+// stream state is outside the key), telemetry-enabled runs (the Result
+// carries a stateful sampler that must be private to each caller), and
+// custom policies (their identity and internal state are not hashable).
+
+// runCacheEntry is one memoised simulation; once coordinates the
+// singleflight so concurrent sweep workers asking for the same cell run it
+// exactly once and share the outcome.
+type runCacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+type runCache struct {
+	mu sync.Mutex
+	m  map[string]*runCacheEntry
+
+	hits, misses atomic.Int64
+}
+
+var (
+	theRunCache   = &runCache{m: make(map[string]*runCacheEntry)}
+	runCachingOff atomic.Bool
+)
+
+// SetRunCaching toggles the process-wide run cache (on by default).
+// Disable it to force every simulation to execute — e.g. when timing runs,
+// or via the -nocache flag of the command-line tools.
+func SetRunCaching(on bool) { runCachingOff.Store(!on) }
+
+// RunCaching reports whether the run cache is enabled.
+func RunCaching() bool { return !runCachingOff.Load() }
+
+// ResetRunCache drops every memoised run (and the hit/miss counters).
+// Benchmarks call it between iterations so repeated identical runs are
+// measured honestly.
+func ResetRunCache() {
+	theRunCache.mu.Lock()
+	theRunCache.m = make(map[string]*runCacheEntry)
+	theRunCache.mu.Unlock()
+	theRunCache.hits.Store(0)
+	theRunCache.misses.Store(0)
+}
+
+// RunCacheStats returns the cache's cumulative hit and miss counts.
+func RunCacheStats() (hits, misses int64) {
+	return theRunCache.hits.Load(), theRunCache.misses.Load()
+}
+
+// cacheable reports whether a run is a pure function of (cfg, specs,
+// scheme) and safe to share.
+func cacheable(cfg Config, specs []ProgramSpec) bool {
+	if !RunCaching() {
+		return false
+	}
+	if cfg.TelemetryEvery > 0 {
+		return false
+	}
+	for _, s := range specs {
+		if s.Source != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runKey content-hashes the full simulation input. Config, ProgramSpec and
+// trace.Params are plain value structs (no pointers, no functions), so
+// their %#v rendering is a faithful, deterministic serialisation.
+func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%#v\x00", scheme, cfg)
+	for _, s := range specs {
+		fmt.Fprintf(h, "%#v\x00", s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cachedRun memoises run() under the given key with singleflight
+// semantics.
+func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &runCacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	fresh := false
+	e.once.Do(func() {
+		fresh = true
+		e.res, e.err = run()
+	})
+	if fresh {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.res, e.err
+}
+
+// runSim is the cache-aware funnel every scheme-based driver in this
+// package goes through.
+func runSim(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	if !cacheable(cfg, specs) {
+		return runSimUncached(cfg, specs, scheme)
+	}
+	return theRunCache.cachedRun(runKey(cfg, specs, scheme), func() (*Result, error) {
+		return runSimUncached(cfg, specs, scheme)
+	})
+}

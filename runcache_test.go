@@ -1,0 +1,77 @@
+package profess
+
+import (
+	"testing"
+)
+
+// TestRunCacheMemoises checks that two identical runs share one simulation
+// and that the toggle and reset work.
+func TestRunCacheMemoises(t *testing.T) {
+	ResetRunCache()
+	SetRunCaching(true)
+	defer SetRunCaching(true)
+
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 50_000
+	r1, err := RunProgram("mcf", SchemePoM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunProgram("mcf", SchemePoM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical runs should share one cached Result")
+	}
+	if hits, misses := RunCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	// A different scheme is a different cell.
+	if _, err := RunProgram("mcf", SchemeMDM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := RunCacheStats(); misses != 2 {
+		t.Errorf("different scheme should miss; misses = %d", misses)
+	}
+
+	// Disabling the cache forces a fresh simulation.
+	SetRunCaching(false)
+	r3, err := RunProgram("mcf", SchemePoM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("caching disabled: run should not come from the cache")
+	}
+	SetRunCaching(true)
+
+	ResetRunCache()
+	if hits, misses := RunCacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("reset left stats %d/%d", hits, misses)
+	}
+}
+
+// TestRunCacheBypassesTelemetry pins the soundness rule: a telemetry-
+// enabled run carries a private stateful sampler and must never be shared.
+func TestRunCacheBypassesTelemetry(t *testing.T) {
+	ResetRunCache()
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 50_000
+	cfg.TelemetryEvery = 10_000
+	r1, err := RunProgram("mcf", SchemePoM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunProgram("mcf", SchemePoM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("telemetry-enabled runs must bypass the cache")
+	}
+	if hits, _ := RunCacheStats(); hits != 0 {
+		t.Errorf("telemetry runs recorded %d cache hits, want 0", hits)
+	}
+}
