@@ -10,12 +10,18 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke quick cover fuzz-smoke
 
 # Label recorded for a `make bench-json` run inside BENCH_FILE.
 BENCH_LABEL ?= local
 # Trajectory file bench-json appends to (committed: the PR's before/after).
-BENCH_FILE ?= BENCH_PR3.json
+BENCH_FILE ?= BENCH_PR4.json
+
+# Sweep settings for sweep-bench / sweep-smoke: small enough for CI,
+# large enough that a cache hit is clearly cheaper than a simulation.
+SWEEP_EXPS ?= fig2,fig5,fig10,fig16
+SWEEP_INSTR ?= 200000
+SWEEP_WORKLOADS ?= w09,w16,w19
 
 check: vet build test-race
 
@@ -51,6 +57,43 @@ bench-json:
 # completion (one iteration, no timing assertions).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# sweep-bench records the planner's trajectory into $(BENCH_FILE): a
+# cache-disabled baseline (the honest end-to-end cost), a cold planned
+# sweep into a fresh cache directory, and a warm re-run served entirely
+# from disk. Reports go to /dev/null — only the timings matter here.
+sweep-bench:
+	$(GO) build -o bin/professbench ./cmd/professbench
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	rm -rf bin/sweepcache && mkdir -p bin/sweepcache
+	bin/professbench -exp $(SWEEP_EXPS) -instr $(SWEEP_INSTR) -workloads $(SWEEP_WORKLOADS) \
+		-nocache -cachedir off -benchout bin/sweep-nocache.txt > /dev/null
+	bin/benchjson -label sweep-nocache -o $(BENCH_FILE) < bin/sweep-nocache.txt
+	bin/professbench -exp $(SWEEP_EXPS) -instr $(SWEEP_INSTR) -workloads $(SWEEP_WORKLOADS) \
+		-cachedir bin/sweepcache -benchout bin/sweep-cold.txt > /dev/null
+	bin/benchjson -label sweep-cold -o $(BENCH_FILE) < bin/sweep-cold.txt
+	bin/professbench -exp $(SWEEP_EXPS) -instr $(SWEEP_INSTR) -workloads $(SWEEP_WORKLOADS) \
+		-cachedir bin/sweepcache -benchout bin/sweep-warm.txt > /dev/null
+	bin/benchjson -label sweep-warm -o $(BENCH_FILE) < bin/sweep-warm.txt
+
+# sweep-smoke is the CI guard for the persistent run cache: one sweep
+# runs twice against one cache directory in separate processes. The warm
+# pass must be >=90% cache hits and its report byte-identical to the
+# cold pass; the cold/warm wall times print for the job summary.
+sweep-smoke:
+	$(GO) build -o bin/professbench ./cmd/professbench
+	rm -rf bin/smokecache && mkdir -p bin/smokecache
+	bin/professbench -exp $(SWEEP_EXPS) -instr $(SWEEP_INSTR) -workloads $(SWEEP_WORKLOADS) \
+		-cachedir bin/smokecache -benchout bin/smoke-cold.txt > bin/smoke-cold.out
+	bin/professbench -exp $(SWEEP_EXPS) -instr $(SWEEP_INSTR) -workloads $(SWEEP_WORKLOADS) \
+		-cachedir bin/smokecache -benchout bin/smoke-warm.txt > bin/smoke-warm.out
+	cmp bin/smoke-cold.out bin/smoke-warm.out
+	@awk '/^BenchmarkExp\/total / { rate = -1; \
+		for (i = 1; i < NF; i++) if ($$(i+1) == "hit-rate-%") rate = $$i; \
+		printf "warm sweep hit rate: %s%%\n", rate; \
+		if (rate + 0 < 90) { print "run-cache hit rate below 90%"; exit 1 } }' bin/smoke-warm.txt
+	@awk '/^BenchmarkExp\/total /{printf "cold sweep: %.2fs\n", $$3 / 1e9}' bin/smoke-cold.txt
+	@awk '/^BenchmarkExp\/total /{printf "warm sweep: %.2fs\n", $$3 / 1e9}' bin/smoke-warm.txt
 
 # cover fails the build when total statement coverage drops under COVER_MIN.
 cover:

@@ -44,6 +44,17 @@ func reportSeries(b *testing.B, name string, series map[string]float64) {
 	}
 }
 
+// reportCacheMetrics reports the run-cache counters left by the final
+// iteration. Each iteration starts from ResetRunCache, so the counters
+// describe exactly one regeneration of the figure: how many cells it
+// simulates and how many it re-reads from the cache (shared baselines).
+func reportCacheMetrics(b *testing.B) {
+	b.Helper()
+	d := RunCacheDetail()
+	b.ReportMetric(float64(d.Sims), "sims")
+	b.ReportMetric(float64(d.MemHits+d.DiskHits), "cache-hits")
+}
+
 func BenchmarkFig02_SlowdownsUnderPoM(b *testing.B) {
 	opts := benchMultiOpts()
 	opts.Workloads = []string{"w09"}
@@ -57,6 +68,7 @@ func BenchmarkFig02_SlowdownsUnderPoM(b *testing.B) {
 		b.ReportMetric(c.MaxSlowdown, "maxSlowdown-w09")
 		b.ReportMetric(stats.Max(c.Slowdowns)-stats.Min(c.Slowdowns), "slowdownSpread-w09")
 	}
+	reportCacheMetrics(b)
 }
 
 func BenchmarkTable04_SamplingAccuracy(b *testing.B) {
@@ -99,6 +111,7 @@ func BenchmarkFig05_SingleProgramIPC(b *testing.B) {
 		}
 		b.ReportMetric(stats.Max(xs), "IPC-MDM/PoM-max")
 	}
+	reportCacheMetrics(b)
 }
 
 func BenchmarkFig06_M1ServedFraction(b *testing.B) {
@@ -217,6 +230,7 @@ func BenchmarkFig10_MaxSlowdownMDM(b *testing.B) {
 		rep := multiReport(b, []Scheme{SchemePoM, SchemeMDM})
 		reportSeries(b, "maxSdn-MDM/PoM-gmean", rep.NormalisedSeries(SchemeMDM, SchemePoM, "maxsdn"))
 	}
+	reportCacheMetrics(b)
 }
 
 func BenchmarkFig11_WeightedSpeedupMDM(b *testing.B) {
@@ -316,4 +330,5 @@ func BenchmarkTable02_AllAlgorithms(b *testing.B) {
 			}
 		}
 	}
+	reportCacheMetrics(b)
 }

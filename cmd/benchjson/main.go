@@ -6,10 +6,17 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -benchmem | benchjson -label post -o BENCH_PR3.json
+//	professbench -exp all -benchout sweep.txt && benchjson -label sweep-warm -o BENCH_PR4.json < sweep.txt
 //
 // When -o names an existing trajectory file, the new run is added under
 // its label alongside the runs already recorded (e.g. the pre-change
 // baseline), so one file carries the before/after pair reviewers diff.
+//
+// professbench's -benchout lines carry run-cache counters (sims,
+// mem-hits, disk-hits, hit-rate-%) as custom metrics; they land in each
+// benchmark's metrics map and the summary prints the simulation counts
+// alongside the wall-time speedups, so a cold-vs-warm pair shows both
+// "how much faster" and "how many simulations were avoided".
 package main
 
 import (
@@ -168,7 +175,10 @@ func parse(r io.Reader) (Run, error) {
 }
 
 // summarise prints per-benchmark speedups of the last run against the
-// first, the reviewer's one-glance check.
+// first, the reviewer's one-glance check. When the runs carry run-cache
+// counters (professbench -benchout, or benchmarks reporting "sims"), the
+// simulation counts are shown alongside so a cold-vs-warm pair reads as
+// both a speedup and a count of simulations avoided.
 func summarise(w io.Writer, traj Trajectory) {
 	if len(traj.Runs) < 2 {
 		return
@@ -181,7 +191,15 @@ func summarise(w io.Writer, traj Trajectory) {
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%-42s %12s %12s %8s %10s\n", "benchmark", base.Label+" ns", last.Label+" ns", "speedup", "allocs ratio")
+	sims := func(r Result) string {
+		v, ok := r.Metrics["sims"]
+		if !ok {
+			return "-"
+		}
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	fmt.Fprintf(w, "%-42s %12s %12s %8s %10s %12s\n",
+		"benchmark", base.Label+" ns", last.Label+" ns", "speedup", "allocs ratio", "sims (b/l)")
 	for _, name := range names {
 		b, l := base.Benchmarks[name], last.Benchmarks[name]
 		if b.NsPerOp <= 0 || l.NsPerOp <= 0 {
@@ -191,6 +209,12 @@ func summarise(w io.Writer, traj Trajectory) {
 		if l.AllocsOp > 0 && b.AllocsOp > 0 {
 			allocs = fmt.Sprintf("%.1fx", b.AllocsOp/l.AllocsOp)
 		}
-		fmt.Fprintf(w, "%-42s %12.0f %12.0f %7.2fx %10s\n", name, b.NsPerOp, l.NsPerOp, b.NsPerOp/l.NsPerOp, allocs)
+		fmt.Fprintf(w, "%-42s %12.0f %12.0f %7.2fx %10s %12s\n",
+			name, b.NsPerOp, l.NsPerOp, b.NsPerOp/l.NsPerOp, allocs, sims(b)+"/"+sims(l))
+	}
+	if rate, ok := last.Benchmarks["BenchmarkExp/total"]; ok {
+		if v, ok := rate.Metrics["hit-rate-%"]; ok {
+			fmt.Fprintf(w, "%s run-cache hit rate: %.1f%%\n", last.Label, v)
+		}
 	}
 }

@@ -2,11 +2,21 @@
 // evaluation (see DESIGN.md's per-experiment index). Each experiment is
 // addressable by id; "all" runs the full set.
 //
+// By default the requested experiments are swept in three phases: a plan
+// phase dry-runs the drivers to enumerate every simulation cell they will
+// need, the deduplicated union executes longest-expected-job-first on one
+// worker pool, and the drivers then re-run to render their figures purely
+// from the completed cell table (the warm run cache). Completed cells
+// also persist to an on-disk cache (-cachedir), so a warm re-run of the
+// whole sweep performs zero simulations. -nocache (or -noplan) restores
+// the phase-free behaviour for honest end-to-end timing.
+//
 // Usage:
 //
 //	professbench -exp fig5
 //	professbench -exp all -instr 2000000
 //	professbench -exp fig13,fig14,fig15 -workloads w09,w12,w19
+//	professbench -exp all -cachedir off -nocache   # timing-honest cold run
 package main
 
 import (
@@ -16,16 +26,21 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -debug: profiling endpoints on the debug server
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"profess"
 )
 
-// experiment binds an id to its driver.
+// experiment binds an id to its driver. plannable marks drivers that
+// funnel every simulation through the run cache and can therefore be
+// enumerated by a planning dry run; the rest simulate at render time.
 type experiment struct {
-	id    string
-	about string
-	run   func(opts profess.ExpOptions) (fmt.Stringer, error)
+	id        string
+	about     string
+	plannable bool
+	run       func(opts profess.ExpOptions) (fmt.Stringer, error)
 }
 
 func experiments() []experiment {
@@ -36,7 +51,7 @@ func experiments() []experiment {
 		return profess.RunMultiProgram([]profess.Scheme{profess.SchemePoM, profess.SchemeMDM, profess.SchemeProFess}, opts)
 	}
 	return []experiment{
-		{"fig2", "slowdowns under PoM for w09, w16, w19", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"fig2", "slowdowns under PoM for w09, w16, w19", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			if len(opts.Workloads) == 0 {
 				opts.Workloads = []string{"w09", "w16", "w19"}
 			}
@@ -46,31 +61,31 @@ func experiments() []experiment {
 			}
 			return stringer(rep.SlowdownDetailString(opts.Workloads)), nil
 		}},
-		{"table4", "RSM sampling accuracy (bwaves, milc, omnetpp)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"table4", "RSM sampling accuracy (bwaves, milc, omnetpp)", false, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunSamplingAccuracy(opts)
 		}},
-		{"fig5", "single-program MDM vs PoM IPC (also fig6/fig7 data)", singleBoth},
-		{"fig6", "single-program M1-served fraction (same run as fig5)", singleBoth},
-		{"fig7", "single-program STC hit rates (same run as fig5)", singleBoth},
-		{"fig8", "MDM sensitivity to STC size (also fig9 data)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"fig5", "single-program MDM vs PoM IPC (also fig6/fig7 data)", true, singleBoth},
+		{"fig6", "single-program M1-served fraction (same run as fig5)", true, singleBoth},
+		{"fig7", "single-program STC hit rates (same run as fig5)", true, singleBoth},
+		{"fig8", "MDM sensitivity to STC size (also fig9 data)", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunSTCSensitivity(opts)
 		}},
-		{"fig9", "STC hit rates vs STC size (same run as fig8)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"fig9", "STC hit rates vs STC size (same run as fig8)", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunSTCSensitivity(opts)
 		}},
-		{"sens-twr", "MDM vs PoM under t_WR_M2 x0.5 / x1 / x2", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"sens-twr", "MDM vs PoM under t_WR_M2 x0.5 / x1 / x2", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunTWRSensitivity(opts)
 		}},
-		{"sens-ratio", "MDM vs PoM at M1:M2 = 1:4 / 1:8 / 1:16", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"sens-ratio", "MDM vs PoM at M1:M2 = 1:4 / 1:8 / 1:16", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunRatioSensitivity(opts)
 		}},
-		{"fig10", "multi-program MDM & ProFess vs PoM (figs 10-15 data)", multiAll},
-		{"fig11", "see fig10", multiAll},
-		{"fig12", "see fig10", multiAll},
-		{"fig13", "see fig10", multiAll},
-		{"fig14", "see fig10", multiAll},
-		{"fig15", "see fig10", multiAll},
-		{"fig16", "per-program slowdowns for w09, w16, w19 under all schemes", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"fig10", "multi-program MDM & ProFess vs PoM (figs 10-15 data)", true, multiAll},
+		{"fig11", "see fig10", true, multiAll},
+		{"fig12", "see fig10", true, multiAll},
+		{"fig13", "see fig10", true, multiAll},
+		{"fig14", "see fig10", true, multiAll},
+		{"fig15", "see fig10", true, multiAll},
+		{"fig16", "per-program slowdowns for w09, w16, w19 under all schemes", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			if len(opts.Workloads) == 0 {
 				opts.Workloads = []string{"w09", "w16", "w19"}
 			}
@@ -80,13 +95,13 @@ func experiments() []experiment {
 			}
 			return stringer(rep.SlowdownDetailString(opts.Workloads)), nil
 		}},
-		{"mempod", "MemPod AMMAT vs PoM (§2.5 observation)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"mempod", "MemPod AMMAT vs PoM (§2.5 observation)", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			if len(opts.Workloads) == 0 {
 				opts.Workloads = []string{"w02", "w09", "w12", "w19"}
 			}
 			return profess.RunMemPodComparison(opts)
 		}},
-		{"algos", "all Table 2 algorithms compared on selected workloads", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"algos", "all Table 2 algorithms compared on selected workloads", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			if len(opts.Workloads) == 0 {
 				opts.Workloads = []string{"w09", "w12", "w19"}
 			}
@@ -94,7 +109,7 @@ func experiments() []experiment {
 				[]profess.Scheme{profess.SchemePoM, profess.SchemeCAMEO, profess.SchemeSILCFM,
 					profess.SchemeMemPod, profess.SchemeMDM, profess.SchemeProFess}, opts)
 		}},
-		{"faults", "robustness: slowdown/energy vs injected fault rate (PoM, MDM, ProFess)", func(opts profess.ExpOptions) (fmt.Stringer, error) {
+		{"faults", "robustness: slowdown/energy vs injected fault rate (PoM, MDM, ProFess)", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			if len(opts.Workloads) == 0 {
 				opts.Workloads = []string{"w09", "w12", "w19"}
 			}
@@ -113,23 +128,45 @@ var (
 	expvarCompleted = expvar.NewInt("professbench.experiments_completed")
 )
 
+// benchLine is one go-bench-format measurement for -benchout: wall time
+// plus the run-cache counter deltas attributed to that phase or
+// experiment. The format parses with cmd/benchjson unchanged.
+type benchLine struct {
+	name  string
+	wall  time.Duration
+	delta profess.RunCacheCounters
+}
+
+func (l benchLine) String() string {
+	return fmt.Sprintf("BenchmarkExp/%s 1 %d ns/op %d sims %d mem-hits %d disk-hits",
+		l.name, l.wall.Nanoseconds(), l.delta.Sims, l.delta.MemHits, l.delta.DiskHits)
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
-		instr   = flag.Int64("instr", 2_000_000, "instructions per program run")
-		scale   = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
-		wls     = flag.String("workloads", "", "restrict workloads (comma separated)")
-		progs   = flag.String("programs", "", "restrict programs (comma separated)")
-		par     = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables where supported")
-		debug   = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		nocache = flag.Bool("nocache", false, "disable the in-process run cache (every cell simulates from scratch)")
+		exp      = flag.String("exp", "", "experiment id(s), comma separated, or 'all' (see -list)")
+		instr    = flag.Int64("instr", 2_000_000, "instructions per program run")
+		scale    = flag.Float64("scale", profess.PaperScale, "capacity scale relative to Table 8")
+		wls      = flag.String("workloads", "", "restrict workloads (comma separated)")
+		progs    = flag.String("programs", "", "restrict programs (comma separated)")
+		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of tables where supported")
+		debug    = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		nocache  = flag.Bool("nocache", false, "disable the run cache entirely (every cell simulates from scratch; implies -noplan and no disk tier)")
+		noplan   = flag.Bool("noplan", false, "skip the plan/execute phases; experiments simulate as they render")
+		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
+		benchout = flag.String("benchout", "", "write go-bench-format wall-time and cache-counter lines to this file (pipe into benchjson)")
 	)
 	flag.Parse()
 
 	if *nocache {
 		profess.SetRunCaching(false)
+	} else if *cachedir != "" && *cachedir != "off" {
+		if err := profess.SetRunCacheDir(*cachedir); err != nil {
+			// Memory tier still works; warn and continue.
+			fmt.Fprintf(os.Stderr, "professbench: disk cache disabled: %v\n", err)
+		}
 	}
 
 	if *debug != "" {
@@ -174,8 +211,10 @@ func main() {
 	}
 	runAll := want["all"]
 
-	// Deduplicate experiments that share a driver run (fig5/6/7 and
-	// fig10..15 print from the same report) when running "all".
+	// Select the experiments to run, deduplicating ones that share a
+	// driver run (fig5/6/7 and fig10..15 print from the same report) when
+	// running "all".
+	var selected []experiment
 	ranAbout := map[string]bool{}
 	for _, e := range exps {
 		if !(runAll || want[e.id]) {
@@ -185,13 +224,72 @@ func main() {
 			continue
 		}
 		ranAbout[e.about] = true
+		selected = append(selected, e)
+	}
+
+	var lines []benchLine
+	total := time.Now()
+
+	// Phase 1+2: plan the sweep and execute the deduplicated cell union.
+	// Stdout stays untouched here — reports must be byte-identical with
+	// and without planning — so progress goes to stderr.
+	var planned []profess.PlannedExperiment
+	if profess.RunCaching() && !*noplan {
+		for _, e := range selected {
+			run := e.run
+			if !e.plannable {
+				continue // listed via ErrNotPlannable anyway; skip the noise
+			}
+			planned = append(planned, profess.PlannedExperiment{
+				Name: e.id,
+				Run: func() error {
+					_, err := run(opts)
+					return err
+				},
+			})
+		}
+	}
+	if len(planned) > 0 {
+		start := time.Now()
+		before := profess.RunCacheDetail()
+		plan, err := profess.PlanSweep(planned)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "professbench: planning: %v\n", err)
+			os.Exit(1)
+		}
+		dedup := 1.0
+		if len(plan.Cells) > 0 {
+			dedup = float64(plan.Requested) / float64(len(plan.Cells))
+		}
+		fmt.Fprintf(os.Stderr, "professbench: plan: %d distinct cells (%d requested, dedup %.2fx) across %d experiments\n",
+			len(plan.Cells), plan.Requested, dedup, len(planned))
+		if len(plan.Unplannable) > 0 {
+			fmt.Fprintf(os.Stderr, "professbench: plan: unplannable (simulate at render): %s\n", strings.Join(plan.Unplannable, ", "))
+		}
+		expvarCurrent.Set("execute")
+		if err := plan.Execute(nil, *par); err != nil {
+			fmt.Fprintf(os.Stderr, "professbench: execute: %v\n", err)
+			os.Exit(1)
+		}
+		d := profess.RunCacheDetail().Sub(before)
+		fmt.Fprintf(os.Stderr, "professbench: execute: %d simulated, %d from disk, %d already in memory (%.1fs)\n",
+			d.Sims, d.DiskHits, d.MemHits, time.Since(start).Seconds())
+		lines = append(lines, benchLine{"plan+execute", time.Since(start), d})
+	}
+
+	// Phase 3: render. With a completed plan every cell is a cache hit;
+	// without one this is where the simulations happen.
+	for _, e := range selected {
 		fmt.Printf("==== %s: %s ====\n", e.id, e.about)
 		expvarCurrent.Set(e.id)
+		start := time.Now()
+		before := profess.RunCacheDetail()
 		rep, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "professbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		lines = append(lines, benchLine{e.id, time.Since(start), profess.RunCacheDetail().Sub(before)})
 		expvarCompleted.Add(1)
 		if *csv {
 			if c, ok := rep.(profess.CSVer); ok {
@@ -201,4 +299,32 @@ func main() {
 		}
 		fmt.Println(rep.String())
 	}
+
+	if *benchout != "" {
+		if err := writeBenchout(*benchout, lines, time.Since(total)); err != nil {
+			fmt.Fprintf(os.Stderr, "professbench: benchout: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchout emits the per-experiment wall times and cache-counter
+// deltas in go-bench format, closed by a total line carrying the sweep's
+// overall hit rate. The file parses with cmd/benchjson as-is.
+func writeBenchout(path string, lines []benchLine, wall time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+	var sum profess.RunCacheCounters
+	for _, l := range lines {
+		sum.Sims += l.delta.Sims
+		sum.MemHits += l.delta.MemHits
+		sum.DiskHits += l.delta.DiskHits
+		fmt.Fprintln(f, l)
+	}
+	totalLine := benchLine{"total", wall, sum}
+	fmt.Fprintf(f, "%s %.1f hit-rate-%%\n", totalLine, 100*sum.HitRate())
+	return f.Close()
 }

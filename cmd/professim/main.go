@@ -39,12 +39,18 @@ func main() {
 		epoch    = flag.Int64("epoch", 10_000, "telemetry epoch length in CPU cycles (with -telemetry)")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
 		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
-		nocache  = flag.Bool("nocache", false, "disable the in-process run cache (identical runs re-simulate)")
+		nocache  = flag.Bool("nocache", false, "disable the run cache entirely (identical runs re-simulate; no disk tier)")
+		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
 	)
 	flag.Parse()
 
 	if *nocache {
 		profess.SetRunCaching(false)
+	} else if *cachedir != "" && *cachedir != "off" {
+		if err := profess.SetRunCacheDir(*cachedir); err != nil {
+			// The in-process tier still works; warn and continue.
+			fmt.Fprintf(os.Stderr, "professim: disk cache disabled: %v\n", err)
+		}
 	}
 
 	if *list {

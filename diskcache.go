@@ -1,0 +1,267 @@
+package profess
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The persistent run-cache tier stores one JSON file per memoised
+// simulation under a cache directory, so warm re-runs of an experiment
+// sweep perform no simulation even across processes. Entries are
+// self-describing envelopes: a format version, a code-version stamp, the
+// run key they answer for, and a checksum over the serialised Result.
+// Anything that fails those checks — truncated writes that escaped the
+// atomic rename, entries from an older format, entries simulated by
+// different code — is deleted on sight and treated as a miss, so the
+// directory is self-healing and never needs manual invalidation beyond
+// `rm -rf` when iterating on unstamped (dirty or test) builds.
+//
+// Writes are atomic (temp file in the same directory + rename) so a
+// crashed or concurrent writer can never publish a half-written entry,
+// and concurrent processes sharing one directory at worst both write the
+// same bytes. The directory is bounded by an LRU byte cap: loads refresh
+// an entry's mtime and the pruner evicts oldest-first.
+
+// runCacheFormat is the on-disk envelope format version. Bump it when the
+// envelope or Result serialisation changes shape; every older entry is
+// then skipped and deleted on load.
+const runCacheFormat = 1
+
+// DefaultRunCacheSizeLimit bounds the cache directory's total size
+// (1 GiB) unless SetRunCacheSizeLimit overrides it.
+const DefaultRunCacheSizeLimit int64 = 1 << 30
+
+// runCacheCodeStamp identifies the code that produced an entry. Builds
+// stamped by the Go toolchain carry their VCS revision (plus "+dirty"
+// when the worktree was modified); unstamped builds — `go test`, builds
+// outside a checkout — share the stamp "dev". Entries whose stamp differs
+// from the running binary's are stale: deleted on load and re-simulated.
+var runCacheCodeStamp = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	return "dev"
+}()
+
+// diskEnvelope is the on-disk entry format. Result stays raw so the
+// checksum verifies the exact bytes that will be decoded.
+type diskEnvelope struct {
+	Format int             `json:"format"`
+	Code   string          `json:"code"`
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+type diskCache struct {
+	mu    sync.Mutex
+	dir   string // "" = tier disabled
+	limit int64
+}
+
+var theDiskCache = &diskCache{limit: DefaultRunCacheSizeLimit}
+
+// DefaultRunCacheDir returns the conventional persistent cache location,
+// $XDG_CACHE_HOME/profess/runs (falling back to the OS user cache dir),
+// or "" when no user cache directory can be determined.
+func DefaultRunCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "profess", "runs")
+}
+
+// SetRunCacheDir enables the persistent run-cache tier under dir
+// (created if missing), or disables it when dir is empty. The tier sits
+// below the in-process cache: the singleflight still guarantees each cell
+// simulates (or loads) at most once per process.
+func SetRunCacheDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("profess: run cache dir: %w", err)
+		}
+	}
+	theDiskCache.mu.Lock()
+	theDiskCache.dir = dir
+	theDiskCache.mu.Unlock()
+	return nil
+}
+
+// RunCacheDir returns the persistent tier's directory ("" when disabled).
+func RunCacheDir() string {
+	theDiskCache.mu.Lock()
+	defer theDiskCache.mu.Unlock()
+	return theDiskCache.dir
+}
+
+// SetRunCacheSizeLimit caps the persistent tier's total size in bytes
+// (DefaultRunCacheSizeLimit initially). The oldest entries by last use are
+// evicted once the cap is exceeded; n <= 0 restores the default.
+func SetRunCacheSizeLimit(n int64) {
+	if n <= 0 {
+		n = DefaultRunCacheSizeLimit
+	}
+	theDiskCache.mu.Lock()
+	theDiskCache.limit = n
+	theDiskCache.mu.Unlock()
+}
+
+func (d *diskCache) snapshot() (dir string, limit int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dir, d.limit
+}
+
+func (d *diskCache) path(dir, key string) string {
+	return filepath.Join(dir, key+".json")
+}
+
+// load fetches and verifies one entry. Every verification failure deletes
+// the entry (it can never become valid) and reports a miss; the caller
+// then simulates and overwrites it.
+func (d *diskCache) load(key string) (*Result, bool) {
+	dir, _ := d.snapshot()
+	if dir == "" {
+		return nil, false
+	}
+	path := d.path(dir, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		os.Remove(path)
+		return nil, false
+	}
+	if env.Format != runCacheFormat || env.Code != runCacheCodeStamp || env.Key != key {
+		os.Remove(path)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		os.Remove(path)
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		os.Remove(path)
+		return nil, false
+	}
+	// Refresh recency so the LRU pruner keeps live cells.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return &res, true
+}
+
+// store writes one entry atomically, then prunes. Storage is best-effort:
+// any failure (including a Result that does not serialise, e.g. a NaN
+// metric) just means the cell stays a disk miss.
+func (d *diskCache) store(key string, res *Result) {
+	dir, _ := d.snapshot()
+	if dir == "" {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(diskEnvelope{
+		Format: runCacheFormat,
+		Code:   runCacheCodeStamp,
+		Key:    key,
+		Sum:    hex.EncodeToString(sum[:]),
+		Result: payload,
+	})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.prune(dir)
+}
+
+// prune evicts entries oldest-first until the directory fits the size
+// cap. Serialised under the cache mutex so concurrent stores do not race
+// the directory scan.
+func (d *diskCache) prune(dir string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dir != dir {
+		return // retargeted while storing
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type ent struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		files []ent
+		total int64
+	)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, ent{filepath.Join(dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= d.limit {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= d.limit {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
+}

@@ -56,7 +56,10 @@ func planForRate(rate float64, seed uint64) FaultPlan {
 // RunFaultSweep measures slowdown, throughput and energy versus injected
 // fault rate for the given schemes (defaults: PoM, MDM, ProFess — the
 // baseline against the paper's two mechanisms). Stand-alone baselines are
-// shared across rates because they always run fault-free.
+// shared across rates because they always run fault-free: the run cache
+// keys them on the fault-stripped configuration, so all four rate points
+// (and any other experiment in the same sweep plan) reuse one baseline
+// simulation per (program, scheme).
 func RunFaultSweep(schemes []Scheme, rates []float64, opts ExpOptions) (*FaultSweepReport, error) {
 	if len(schemes) == 0 {
 		schemes = []Scheme{SchemePoM, SchemeMDM, SchemeProFess}

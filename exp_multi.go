@@ -40,36 +40,42 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 	wls := opts.workloads()
 	cache := NewBaselineCache()
 
-	// Warm the baseline cache first (one run per distinct program and
-	// scheme) so the workload jobs don't duplicate alone-runs racing the
-	// same key.
-	type baseJob struct {
-		prog   string
-		scheme Scheme
-	}
-	seen := map[baseJob]bool{}
-	var baseJobs []baseJob
-	for _, wn := range wls {
-		w, err := workloadByName(wn)
-		if err != nil {
-			return nil, err
+	// With the run cache off, warm the baseline cache first (one run per
+	// distinct program and scheme) so the workload jobs don't duplicate
+	// alone-runs racing the same key. With it on, the prepass is
+	// redundant: runSim's singleflight already collapses concurrent
+	// identical baseline runs to one simulation, and the sweep planner's
+	// dry run enumerates the baselines through the workload jobs
+	// themselves.
+	if !RunCaching() {
+		type baseJob struct {
+			prog   string
+			scheme Scheme
 		}
-		for _, p := range w.Programs {
-			for _, s := range schemes {
-				j := baseJob{p, s}
-				if !seen[j] {
-					seen[j] = true
-					baseJobs = append(baseJobs, j)
+		seen := map[baseJob]bool{}
+		var baseJobs []baseJob
+		for _, wn := range wls {
+			w, err := workloadByName(wn)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range w.Programs {
+				for _, s := range schemes {
+					j := baseJob{p, s}
+					if !seen[j] {
+						seen[j] = true
+						baseJobs = append(baseJobs, j)
+					}
 				}
 			}
 		}
-	}
-	err := parallelFor(opts.ctx(), len(baseJobs), opts.Parallelism, func(i int) error {
-		_, err := cache.AloneIPC(baseJobs[i].prog, baseJobs[i].scheme, cfg)
-		return err
-	})
-	if err != nil {
-		return nil, err
+		err := parallelFor(opts.ctx(), len(baseJobs), opts.Parallelism, func(i int) error {
+			_, err := cache.AloneIPC(baseJobs[i].prog, baseJobs[i].scheme, cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	type job struct {
@@ -126,7 +132,7 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 			return nil
 		})
 	}
-	err = runCells()
+	err := runCells()
 	if err != nil && opts.ctx().Err() == nil {
 		// Failed cells (including recovered worker panics) get one retry;
 		// completed cells are skipped, so a transient failure costs one

@@ -49,11 +49,12 @@ func RunSinglePrograms(schemes []Scheme, opts ExpOptions) (*SingleProgramReport,
 	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		var ipcs []float64
 		row := SingleProgramRow{Program: jobs[i].prog, Scheme: jobs[i].scheme}
+		base, err := sim.SpecForProgram(jobs[i].prog, cfg.Scale)
+		if err != nil {
+			return err
+		}
 		for s := 0; s < opts.seeds(); s++ {
-			spec, err := sim.SpecForProgram(jobs[i].prog, cfg.Scale)
-			if err != nil {
-				return err
-			}
+			spec := base
 			if s > 0 {
 				spec.Params.Seed = workloadSeed(jobs[i].prog, 1000+s)
 			}
@@ -235,8 +236,13 @@ type SamplingAccuracyReport struct {
 
 // RunSamplingAccuracy runs the Table 4 study: selected programs alone with
 // RSM probing at three sampling-period durations (the paper's 64K/128K/
-// 256K requests, scaled with the system).
+// 256K requests, scaled with the system). It drives probe-instrumented
+// ProFess policies through the System directly, so its runs bypass the
+// run cache and the experiment is not plannable.
 func RunSamplingAccuracy(opts ExpOptions) (*SamplingAccuracyReport, error) {
+	if planning() {
+		return nil, ErrNotPlannable
+	}
 	cfg := opts.singleConfig()
 	progs := opts.Programs
 	if len(progs) == 0 {

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestResultRoundTrips pins the Result serialisation contract the
+// persistent run cache depends on: a simulated Result encoded to JSON and
+// decoded back must be deeply identical, so figures rendered from a disk
+// cache entry are byte-for-byte the figures of the original run.
+func TestResultRoundTrips(t *testing.T) {
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 50_000
+	spec, err := SpecForProgram("mcf", cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, []ProgramSpec{spec}, SchemePoM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("Result must serialise: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Result must deserialise: %v", err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("Result did not round-trip through JSON:\n got %+v\nwant %+v", back, *res)
+	}
+
+	// A second encode must reproduce the same bytes — the property the
+	// disk tier's checksum (and byte-identical figure rendering) rests on.
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("re-encoding a decoded Result changed its bytes")
+	}
+}

@@ -94,6 +94,15 @@ type CoreResult struct {
 }
 
 // Result is the outcome of one simulation.
+//
+// Serialisation contract: every field that carries simulation output is
+// an exported plain value (ints, floats, strings, value structs), so a
+// Result round-trips through encoding/json exactly — int64 counters are
+// decoded digit-for-digit and float64 metrics use Go's shortest
+// round-trip encoding. The profess run cache's persistent tier depends on
+// this to serve byte-identical figures from disk; TestResultRoundTrips
+// pins it. Telemetry is the one deliberate exception: a stateful sampler
+// excluded from JSON (and such runs are never cached).
 type Result struct {
 	Scheme     string
 	Cycles     int64

@@ -165,8 +165,12 @@ type (
 )
 
 // RunWithPolicy runs explicit program specs under a custom migration
-// policy.
+// policy. Custom policies are not hashable, so these runs bypass the run
+// cache and cannot be enumerated by the sweep planner.
 func RunWithPolicy(specs []ProgramSpec, policy Policy, cfg Config) (*Result, error) {
+	if planning() {
+		return nil, ErrNotPlannable
+	}
 	sys, err := sim.NewSystem(cfg, specs, policy)
 	if err != nil {
 		return nil, err

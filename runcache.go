@@ -14,6 +14,13 @@ import (
 // column) pay for it once per process. Simulations are deterministic
 // functions of that key, which is what makes memoisation sound.
 //
+// The cache has two tiers. The in-process tier memoises *Result pointers
+// with singleflight semantics: concurrent callers of one cell run it at
+// most once per process and share the outcome. The optional persistent
+// tier (see diskcache.go, enabled via SetRunCacheDir or the CLIs'
+// -cachedir flag) round-trips Results through JSON on disk, so warm
+// re-runs across processes perform no simulation at all.
+//
 // Cached *Results are shared between callers and must be treated as
 // immutable; every driver in this package already does. Runs that are not
 // pure functions of the key bypass the cache: a custom trace Source (its
@@ -34,7 +41,9 @@ type runCache struct {
 	mu sync.Mutex
 	m  map[string]*runCacheEntry
 
-	hits, misses atomic.Int64
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	sims     atomic.Int64
 }
 
 var (
@@ -44,26 +53,72 @@ var (
 
 // SetRunCaching toggles the process-wide run cache (on by default).
 // Disable it to force every simulation to execute — e.g. when timing runs,
-// or via the -nocache flag of the command-line tools.
+// or via the -nocache flag of the command-line tools. Disabling it also
+// bypasses the persistent disk tier.
 func SetRunCaching(on bool) { runCachingOff.Store(!on) }
 
 // RunCaching reports whether the run cache is enabled.
 func RunCaching() bool { return !runCachingOff.Load() }
 
-// ResetRunCache drops every memoised run (and the hit/miss counters).
+// ResetRunCache drops every memoised run (and the hit/miss counters) from
+// the in-process tier. Entries in the persistent disk tier, if one is
+// configured, survive — delete the cache directory to cold-start those.
 // Benchmarks call it between iterations so repeated identical runs are
 // measured honestly.
 func ResetRunCache() {
 	theRunCache.mu.Lock()
 	theRunCache.m = make(map[string]*runCacheEntry)
 	theRunCache.mu.Unlock()
-	theRunCache.hits.Store(0)
-	theRunCache.misses.Store(0)
+	theRunCache.memHits.Store(0)
+	theRunCache.diskHits.Store(0)
+	theRunCache.sims.Store(0)
 }
 
-// RunCacheStats returns the cache's cumulative hit and miss counts.
+// RunCacheStats returns the cache's cumulative hit and miss counts. A hit
+// is a run served without simulating (from either tier); a miss is a
+// simulation that actually executed.
 func RunCacheStats() (hits, misses int64) {
-	return theRunCache.hits.Load(), theRunCache.misses.Load()
+	d := RunCacheDetail()
+	return d.MemHits + d.DiskHits, d.Sims
+}
+
+// RunCacheCounters breaks the cache accounting down by tier.
+type RunCacheCounters struct {
+	// MemHits counts runs served from the in-process tier (including
+	// singleflight joins on an in-flight simulation).
+	MemHits int64
+	// DiskHits counts runs loaded from the persistent tier.
+	DiskHits int64
+	// Sims counts simulations that actually executed.
+	Sims int64
+}
+
+// HitRate returns the fraction of cache-eligible runs served without
+// simulating, in [0, 1]; 0 when nothing has run.
+func (c RunCacheCounters) HitRate() float64 {
+	total := c.MemHits + c.DiskHits + c.Sims
+	if total == 0 {
+		return 0
+	}
+	return float64(c.MemHits+c.DiskHits) / float64(total)
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (c RunCacheCounters) Sub(earlier RunCacheCounters) RunCacheCounters {
+	return RunCacheCounters{
+		MemHits:  c.MemHits - earlier.MemHits,
+		DiskHits: c.DiskHits - earlier.DiskHits,
+		Sims:     c.Sims - earlier.Sims,
+	}
+}
+
+// RunCacheDetail returns the cumulative per-tier cache counters.
+func RunCacheDetail() RunCacheCounters {
+	return RunCacheCounters{
+		MemHits:  theRunCache.memHits.Load(),
+		DiskHits: theRunCache.diskHits.Load(),
+		Sims:     theRunCache.sims.Load(),
+	}
 }
 
 // cacheable reports whether a run is a pure function of (cfg, specs,
@@ -84,8 +139,10 @@ func cacheable(cfg Config, specs []ProgramSpec) bool {
 }
 
 // runKey content-hashes the full simulation input. Config, ProgramSpec and
-// trace.Params are plain value structs (no pointers, no functions), so
-// their %#v rendering is a faithful, deterministic serialisation.
+// trace.Params are plain value structs (no pointers, no functions, no
+// maps), so their %#v rendering is a faithful, deterministic
+// serialisation. TestRunKeyHashableFields guards that property against
+// future fields.
 func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%#v\x00", scheme, cfg)
@@ -96,7 +153,8 @@ func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
 }
 
 // cachedRun memoises run() under the given key with singleflight
-// semantics.
+// semantics, consulting the persistent tier before simulating and writing
+// fresh results through to it.
 func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, error) {
 	c.mu.Lock()
 	e, ok := c.m[key]
@@ -105,22 +163,42 @@ func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, 
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	fresh := false
+	const (
+		joined = iota
+		fromDisk
+		simulated
+	)
+	from := joined
 	e.once.Do(func() {
-		fresh = true
+		if res, ok := theDiskCache.load(key); ok {
+			e.res = res
+			from = fromDisk
+			return
+		}
 		e.res, e.err = run()
+		from = simulated
+		if e.err == nil {
+			theDiskCache.store(key, e.res)
+		}
 	})
-	if fresh {
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
+	switch from {
+	case joined:
+		c.memHits.Add(1)
+	case fromDisk:
+		c.diskHits.Add(1)
+	case simulated:
+		c.sims.Add(1)
 	}
 	return e.res, e.err
 }
 
 // runSim is the cache-aware funnel every scheme-based driver in this
-// package goes through.
+// package goes through. While a sweep plan is being built (PlanSweep) it
+// records the cell and returns a stub instead of simulating.
 func runSim(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	if pc := activePlan.Load(); pc != nil {
+		return pc.record(cfg, specs, scheme), nil
+	}
 	if !cacheable(cfg, specs) {
 		return runSimUncached(cfg, specs, scheme)
 	}

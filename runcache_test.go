@@ -1,6 +1,7 @@
 package profess
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -50,6 +51,81 @@ func TestRunCacheMemoises(t *testing.T) {
 	ResetRunCache()
 	if hits, misses := RunCacheStats(); hits != 0 || misses != 0 {
 		t.Errorf("reset left stats %d/%d", hits, misses)
+	}
+}
+
+// hammerCell fires n concurrent callers at one cell and returns the
+// Results they observed. Run under -race this doubles as a data-race
+// check on the cache's singleflight.
+func hammerCell(t *testing.T, n int, cfg Config) []*Result {
+	t.Helper()
+	results := make([]*Result, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			r, err := RunProgram("mcf", SchemePoM, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return results
+}
+
+// TestRunCacheSingleflightConcurrent checks the singleflight contract for
+// both tiers: N concurrent callers of one cell observe exactly one miss
+// (one simulation, or one disk load on the warm pass) and share one
+// *Result.
+func TestRunCacheSingleflightConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	ResetRunCache()
+	SetRunCaching(true)
+	if err := SetRunCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetRunCacheDir(""); err != nil {
+			t.Fatal(err)
+		}
+		ResetRunCache()
+	}()
+
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 30_000
+	const n = 16
+
+	// Cold: exactly one simulation, n-1 singleflight joins, one shared
+	// pointer.
+	cold := hammerCell(t, n, cfg)
+	for i := 1; i < n; i++ {
+		if cold[i] != cold[0] {
+			t.Fatalf("caller %d saw a different Result pointer", i)
+		}
+	}
+	if d := RunCacheDetail(); d.Sims != 1 || d.MemHits != n-1 || d.DiskHits != 0 {
+		t.Errorf("cold pass: %+v, want 1 sim / %d mem hits / 0 disk hits", d, n-1)
+	}
+
+	// Warm disk tier: drop the in-process tier; n concurrent callers must
+	// trigger exactly one disk load, zero simulations, and again share one
+	// pointer.
+	ResetRunCache()
+	warm := hammerCell(t, n, cfg)
+	for i := 1; i < n; i++ {
+		if warm[i] != warm[0] {
+			t.Fatalf("warm caller %d saw a different Result pointer", i)
+		}
+	}
+	if d := RunCacheDetail(); d.Sims != 0 || d.DiskHits != 1 || d.MemHits != n-1 {
+		t.Errorf("warm pass: %+v, want 0 sims / 1 disk hit / %d mem hits", d, n-1)
 	}
 }
 

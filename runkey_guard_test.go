@@ -1,0 +1,71 @@
+package profess
+
+import (
+	"reflect"
+	"testing"
+
+	"profess/internal/trace"
+)
+
+// runKey hashes Config, ProgramSpec and trace.Params through their %#v
+// rendering. That is only a faithful serialisation while every field is a
+// plain value: a pointer or func field would print an address (same
+// content, different hash — or worse, different content, same hash after
+// reuse), and map/chan/interface fields hide identity and state the
+// rendering cannot capture. This test walks the types reflectively and
+// fails the moment anyone adds such a field, pointing them at the
+// allowlist below and the cacheable() guard.
+//
+// Allowed exceptions carry a justification: the field is excluded from
+// caching by cacheable() before runKey is ever computed.
+var runKeyAllowedFields = map[string]string{
+	"sim.ProgramSpec.Source": "runs with a non-nil Source bypass the cache (cacheable() returns false), so only the nil rendering is ever hashed",
+}
+
+func TestRunKeyHashableFields(t *testing.T) {
+	for _, root := range []reflect.Type{
+		reflect.TypeOf(Config{}),
+		reflect.TypeOf(ProgramSpec{}),
+		reflect.TypeOf(trace.Params{}),
+	} {
+		checkHashable(t, root, root.String(), map[reflect.Type]bool{})
+	}
+}
+
+func checkHashable(t *testing.T, typ reflect.Type, path string, visiting map[reflect.Type]bool) {
+	t.Helper()
+	switch typ.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return
+	case reflect.Array, reflect.Slice:
+		checkHashable(t, typ.Elem(), path+"[]", visiting)
+		return
+	case reflect.Struct:
+		if visiting[typ] {
+			return
+		}
+		visiting[typ] = true
+		defer delete(visiting, typ)
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			fieldPath := typ.String() + "." + f.Name
+			if _, ok := runKeyAllowedFields[fieldPath]; ok {
+				continue
+			}
+			checkHashable(t, f.Type, fieldPath, visiting)
+		}
+		return
+	case reflect.Ptr, reflect.UnsafePointer, reflect.Func, reflect.Map, reflect.Chan, reflect.Interface:
+		t.Errorf("%s has kind %s: %%#v would hash an address or hide state, making the run-cache key unsound.\n"+
+			"Either keep the run-cache inputs plain values, or exclude such runs in cacheable() and add the field "+
+			"to runKeyAllowedFields with a justification.", path, typ.Kind())
+		return
+	default:
+		t.Errorf("%s has unexpected kind %s: extend TestRunKeyHashableFields deliberately before caching it", path, typ.Kind())
+	}
+}

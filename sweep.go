@@ -1,0 +1,271 @@
+package profess
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep planner sits above the experiment drivers. The paper's
+// evaluation revisits the same simulation cells constantly — every
+// stand-alone slowdown baseline, every shared PoM reference column — and
+// while the run cache already dedupes those *as they arrive*, arrival
+// order still decides the makespan: a straggler cell discovered late
+// serialises the tail. Planning first enumerates every (Config, specs,
+// Scheme) cell a set of experiments will need, dedupes the union, and
+// executes it longest-expected-job-first on one global pool; the drivers
+// then re-run for real and render their figures purely from the completed
+// cell table (the warm run cache), simulating nothing.
+//
+// Enumeration is a dry run of the drivers themselves: while a plan is
+// being built, the runSim funnel records each requested cell and returns
+// a stub Result instead of simulating, so the exact production control
+// flow — seed replicas, footprint filters, shared baselines — decides the
+// cell set and the plan can never drift from the drivers.
+
+// ErrNotPlannable marks an experiment that cannot be enumerated by a dry
+// run because it simulates outside the run-cache funnel (custom policies,
+// direct System use). PlanSweep skips such experiments; they simulate for
+// real when rendered.
+var ErrNotPlannable = errors.New("profess: experiment does not funnel through the run cache and cannot be planned")
+
+// PlanCell is one deduplicated simulation a sweep will need.
+type PlanCell struct {
+	// Key is the cell's content hash — the run-cache key.
+	Key    string
+	Cfg    Config
+	Specs  []ProgramSpec
+	Scheme Scheme
+	// Cost is the expected relative cost (instruction budget × thread
+	// count); the executor schedules longest-expected-job-first so the
+	// makespan is not dominated by a straggler discovered late.
+	Cost int64
+	// Experiments lists the plan requests that need this cell.
+	Experiments []string
+}
+
+// SweepPlan is the deduplicated union of every cell the planned
+// experiments will simulate, sorted longest-expected-job-first.
+type SweepPlan struct {
+	Cells []PlanCell
+	// Requested counts distinct cell requests before cross-experiment
+	// dedup (each experiment's cells summed); Requested/len(Cells) is the
+	// sharing factor the planner exploits.
+	Requested int
+	// PerExperiment maps each planned experiment to its distinct cell
+	// count.
+	PerExperiment map[string]int
+	// Unplannable lists experiments that returned ErrNotPlannable; they
+	// simulate when rendered instead.
+	Unplannable []string
+}
+
+// PlannedExperiment names one experiment and the driver invocation that
+// enumerates its cells. Run is called once with recording active and its
+// report discarded; it must invoke the same drivers, with the same
+// options, as the later render.
+type PlannedExperiment struct {
+	Name string
+	Run  func() error
+}
+
+// planCollector records the cells runSim is asked for during a dry run.
+type planCollector struct {
+	mu        sync.Mutex
+	cur       string
+	cells     map[string]*PlanCell
+	seenByCur map[string]bool
+	requested int
+	perExp    map[string]int
+}
+
+// activePlan, when non-nil, switches the runSim funnel into recording
+// mode. Only one plan builds at a time.
+var activePlan atomic.Pointer[planCollector]
+
+// planning reports whether a sweep plan is currently being built.
+func planning() bool { return activePlan.Load() != nil }
+
+// record notes one requested cell and returns the dry-run stub.
+func (pc *planCollector) record(cfg Config, specs []ProgramSpec, scheme Scheme) *Result {
+	if cacheable(cfg, specs) {
+		key := runKey(cfg, specs, scheme)
+		threads := int64(0)
+		for _, s := range specs {
+			t := int64(s.Threads)
+			if t < 1 {
+				t = 1
+			}
+			threads += t
+		}
+		pc.mu.Lock()
+		c, ok := pc.cells[key]
+		if !ok {
+			c = &PlanCell{
+				Key:    key,
+				Cfg:    cfg,
+				Specs:  append([]ProgramSpec(nil), specs...),
+				Scheme: scheme,
+				Cost:   cfg.Instructions * threads,
+			}
+			pc.cells[key] = c
+		}
+		if !pc.seenByCur[key] {
+			pc.seenByCur[key] = true
+			pc.requested++
+			pc.perExp[pc.cur]++
+			c.Experiments = append(c.Experiments, pc.cur)
+		}
+		pc.mu.Unlock()
+	}
+	return planStub(specs, scheme)
+}
+
+// planStub is the Result handed back during a dry run: enough non-zero
+// structure (one CoreResult per program, unit metrics) that driver
+// arithmetic — ratios, slowdowns, geomeans — proceeds without dividing by
+// zero. The values are meaningless and every dry-run report is discarded.
+func planStub(specs []ProgramSpec, scheme Scheme) *Result {
+	res := &Result{
+		Scheme:     string(scheme),
+		Cycles:     1,
+		EnergyEff:  1,
+		Watts:      1,
+		STCHitRate: 0.5,
+		L3HitRate:  0.5,
+	}
+	for _, s := range specs {
+		res.PerCore = append(res.PerCore, CoreResult{
+			Program:        s.Name,
+			Instructions:   1,
+			IPC:            1,
+			FirstIPC:       1,
+			Served:         1,
+			M1Fraction:     0.5,
+			AvgReadLat:     1,
+			ReadLatP50:     1,
+			ReadLatP95:     1,
+			ReadLatP99:     1,
+			STCHitRate:     0.5,
+			Repeats:        1,
+			FirstRunCycles: 1,
+		})
+	}
+	return res
+}
+
+// PlanSweep dry-runs the given experiments and returns the deduplicated
+// union of simulation cells they will need. Requires run caching to be
+// enabled (the render phase reads the executed cells back from the
+// cache). Experiments whose drivers report ErrNotPlannable are listed in
+// Unplannable and otherwise skipped.
+func PlanSweep(exps []PlannedExperiment) (*SweepPlan, error) {
+	if !RunCaching() {
+		return nil, errors.New("profess: PlanSweep needs the run cache (SetRunCaching(true))")
+	}
+	pc := &planCollector{
+		cells:  map[string]*PlanCell{},
+		perExp: map[string]int{},
+	}
+	if !activePlan.CompareAndSwap(nil, pc) {
+		return nil, errors.New("profess: a sweep plan is already being built")
+	}
+	defer activePlan.Store(nil)
+
+	plan := &SweepPlan{PerExperiment: map[string]int{}}
+	for _, e := range exps {
+		pc.mu.Lock()
+		pc.cur = e.Name
+		pc.seenByCur = map[string]bool{}
+		pc.mu.Unlock()
+		if err := e.Run(); err != nil {
+			if errors.Is(err, ErrNotPlannable) {
+				plan.Unplannable = append(plan.Unplannable, e.Name)
+				continue
+			}
+			return nil, fmt.Errorf("profess: planning %s: %w", e.Name, err)
+		}
+	}
+	pc.mu.Lock()
+	plan.Requested = pc.requested
+	for name, n := range pc.perExp {
+		plan.PerExperiment[name] = n
+	}
+	for _, c := range pc.cells {
+		plan.Cells = append(plan.Cells, *c)
+	}
+	pc.mu.Unlock()
+	// Longest expected job first; ties broken by key so the order (and
+	// therefore the executor's schedule) is deterministic.
+	sort.Slice(plan.Cells, func(i, j int) bool {
+		if plan.Cells[i].Cost != plan.Cells[j].Cost {
+			return plan.Cells[i].Cost > plan.Cells[j].Cost
+		}
+		return plan.Cells[i].Key < plan.Cells[j].Key
+	})
+	return plan, nil
+}
+
+// Execute simulates every planned cell once on one global worker pool,
+// longest-expected-job-first: workers pull the next unclaimed cell, so
+// the big quad-core mixes start immediately and the cheap stand-alone
+// baselines backfill around them. Results land in the run cache (and its
+// persistent tier when configured); cells already cached are near-free
+// hits. Failures are joined, not fatal mid-sweep: every cell is
+// attempted.
+func (p *SweepPlan) Execute(ctx context.Context, parallelism int) error {
+	if !RunCaching() {
+		return errors.New("profess: Execute needs the run cache (SetRunCaching(true))")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(p.Cells)
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		c := &p.Cells[i]
+		if _, err := runSim(c.Cfg, c.Specs, c.Scheme); err != nil {
+			return fmt.Errorf("cell %s/%s: %w", c.Scheme, c.Key[:12], err)
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
