@@ -10,7 +10,7 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke quick cover fuzz-smoke
 
 # Label recorded for a `make bench-json` run inside BENCH_FILE.
 BENCH_LABEL ?= local
@@ -94,6 +94,28 @@ sweep-smoke:
 		if (rate + 0 < 90) { print "run-cache hit rate below 90%"; exit 1 } }' bin/smoke-warm.txt
 	@awk '/^BenchmarkExp\/total /{printf "cold sweep: %.2fs\n", $$3 / 1e9}' bin/smoke-cold.txt
 	@awk '/^BenchmarkExp\/total /{printf "warm sweep: %.2fs\n", $$3 / 1e9}' bin/smoke-warm.txt
+
+# chaos-smoke is the CI guard for crash-safe sweeps. It runs the kill -9
+# chaos harness plus the cancellation/retry/multi-process-write tests
+# under the race detector, then drives a real professbench sweep:
+# interrupted with SIGINT mid-execute (must drain and exit 130, or 0 if
+# it finished first) and resumed to completion against the same cache
+# directory. The gate: the cache directory ends with zero lease files,
+# zero takeover temporaries and zero atomic-write temp files.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos|TestExecuteCancelLeavesResumableJournal|TestExecuteRetriesTransientFailures|TestExecuteExhaustsAttempts|TestDiskCacheMultiProcessWrites|TestDiskCacheSweepsTmpOrphans' .
+	$(GO) build -o bin/professbench ./cmd/professbench
+	rm -rf bin/chaoscache && mkdir -p bin/chaoscache
+	timeout --preserve-status -s INT 2 bin/professbench -exp fig10 -instr 3000000 -workloads w09 \
+		-cachedir bin/chaoscache > /dev/null; status=$$?; \
+	if [ $$status -ne 130 ] && [ $$status -ne 0 ]; then \
+		echo "interrupted sweep exited $$status, want 130 (drained) or 0 (finished early)"; exit 1; fi
+	bin/professbench -exp fig10 -instr 3000000 -workloads w09 -cachedir bin/chaoscache > /dev/null
+	@leaks=$$(find bin/chaoscache \( -name '*.lease' -o -name '*.lease.reap-*' -o -name '.tmp-*' \) | wc -l); \
+	if [ $$leaks -ne 0 ]; then \
+		echo "leaked lease/temp files:"; \
+		find bin/chaoscache \( -name '*.lease' -o -name '*.lease.reap-*' -o -name '.tmp-*' \); exit 1; fi; \
+	echo "chaos smoke: no leaked lease or temp files"
 
 # cover fails the build when total statement coverage drops under COVER_MIN.
 cover:

@@ -20,14 +20,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // -debug: profiling endpoints on the debug server
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"profess"
@@ -157,8 +161,15 @@ func main() {
 		noplan   = flag.Bool("noplan", false, "skip the plan/execute phases; experiments simulate as they render")
 		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
 		benchout = flag.String("benchout", "", "write go-bench-format wall-time and cache-counter lines to this file (pipe into benchjson)")
+		resume   = flag.Bool("resume", true, "resume an interrupted sweep from its journal in the cache directory; -resume=false discards prior progress and starts fresh")
 	)
 	flag.Parse()
+
+	// First SIGINT/SIGTERM drains gracefully: in-flight cells stop within
+	// one watchdog epoch, leases release, the journal stays resumable. A
+	// second signal kills the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *nocache {
 		profess.SetRunCaching(false)
@@ -197,6 +208,7 @@ func main() {
 		Scale:        *scale,
 		Instructions: *instr,
 		Parallelism:  *par,
+		Context:      ctx,
 	}
 	if *wls != "" {
 		opts.Workloads = strings.Split(*wls, ",")
@@ -267,13 +279,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "professbench: plan: unplannable (simulate at render): %s\n", strings.Join(plan.Unplannable, ", "))
 		}
 		expvarCurrent.Set("execute")
-		if err := plan.Execute(nil, *par); err != nil {
+		rep, err := plan.ExecuteOpts(ctx, profess.ExecOptions{Parallelism: *par, Fresh: !*resume})
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "professbench: interrupted; %d/%d cells done, journal kept — re-run to resume\n",
+				rep.Done+rep.Resumed+rep.External, rep.Cells)
+			os.Exit(130)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "professbench: execute: %v\n", err)
 			os.Exit(1)
 		}
 		d := profess.RunCacheDetail().Sub(before)
 		fmt.Fprintf(os.Stderr, "professbench: execute: %d simulated, %d from disk, %d already in memory (%.1fs)\n",
 			d.Sims, d.DiskHits, d.MemHits, time.Since(start).Seconds())
+		if rep.Resumed > 0 || rep.External > 0 || rep.Stolen > 0 || rep.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "professbench: execute: %d resumed from journal, %d by other workers, %d leases taken over, %d retries\n",
+				rep.Resumed, rep.External, rep.Stolen, rep.Retries)
+		}
 		lines = append(lines, benchLine{"plan+execute", time.Since(start), d})
 	}
 
@@ -286,6 +308,10 @@ func main() {
 		before := profess.RunCacheDetail()
 		rep, err := e.run(opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "professbench: %s: interrupted\n", e.id)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "professbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}

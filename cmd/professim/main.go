@@ -12,17 +12,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"profess"
 	"profess/internal/stats"
 )
 
+// runCtx carries the signal-drain context to every simulation: the first
+// SIGINT/SIGTERM stops in-flight runs within one watchdog epoch, a
+// second one kills the process.
+var runCtx = context.Background()
+
 func main() {
+	var stopSignals context.CancelFunc
+	runCtx, stopSignals = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	var (
 		program  = flag.String("program", "", "single Table 9 program to run (e.g. lbm)")
 		mix      = flag.String("workload", "", "Table 10 workload to run (e.g. w09)")
@@ -169,7 +180,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 	t := stats.NewTable("scheme", "IPC", "M1 frac", "STC hit", "read lat", "p99 lat", "swaps", "energy eff")
 	results := make(map[profess.Scheme]*profess.Result)
 	for _, s := range schemes {
-		res, err := profess.RunSpecs([]profess.ProgramSpec{spec}, s, cfg)
+		res, err := profess.RunSpecsContext(runCtx, []profess.ProgramSpec{spec}, s, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -202,7 +213,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 	fmt.Printf("workload %s (%d instructions per program, scale %.4f)\n\n", name, cfg.Instructions, cfg.Scale)
 	for _, s := range schemes {
 		if !baselines {
-			res, err := profess.RunMix(name, s, cfg)
+			res, err := profess.RunMixContext(runCtx, name, s, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -216,7 +227,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 			printResilience(string(s), res)
 			continue
 		}
-		wr, err := profess.RunWorkload(name, s, cfg, cache)
+		wr, err := profess.RunWorkloadContext(runCtx, name, s, cfg, cache)
 		if err != nil {
 			fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -96,17 +97,49 @@ func DefaultRunCacheDir() string {
 // SetRunCacheDir enables the persistent run-cache tier under dir
 // (created if missing), or disables it when dir is empty. The tier sits
 // below the in-process cache: the singleflight still guarantees each cell
-// simulates (or loads) at most once per process.
+// simulates (or loads) at most once per process. Attaching to a
+// directory also sweeps temp files orphaned by writers that died between
+// temp-file creation and the atomic rename.
 func SetRunCacheDir(dir string) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("profess: run cache dir: %w", err)
 		}
+		sweepTmpOrphans(dir)
 	}
 	theDiskCache.mu.Lock()
 	theDiskCache.dir = dir
 	theDiskCache.mu.Unlock()
 	return nil
+}
+
+// runCacheTmpGrace is how old a ".tmp-*" file must be before the orphan
+// sweeper may remove it. A live writer holds its temp file for
+// milliseconds (serialise + write + rename), so anything minutes old was
+// stranded by a killed process. Variable for tests.
+var runCacheTmpGrace = 15 * time.Minute
+
+// sweepTmpOrphans removes stranded atomic-write temporaries under dir. A
+// writer killed between CreateTemp and Rename leaks its ".tmp-*" file;
+// nothing ever references it again, so reclaim it once it is old enough
+// that no live writer can still own it.
+func sweepTmpOrphans(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if time.Since(info.ModTime()) > runCacheTmpGrace {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // RunCacheDir returns the persistent tier's directory ("" when disabled).
@@ -138,9 +171,14 @@ func (d *diskCache) path(dir, key string) string {
 	return filepath.Join(dir, key+".json")
 }
 
-// load fetches and verifies one entry. Every verification failure deletes
-// the entry (it can never become valid) and reports a miss; the caller
-// then simulates and overwrites it.
+// load fetches and verifies one entry. A vanished file — including one
+// another process's LRU eviction removed between our lookup and read —
+// is a clean miss: the caller re-simulates and overwrites, no error, no
+// deletion. Verification failures of bytes actually read (truncation
+// that escaped the atomic rename, older formats, foreign code stamps)
+// delete the entry, since those bytes can never become valid; the delete
+// is skipped if the file changed size since the read, so a concurrent
+// writer's fresh entry is never the casualty of a stale verdict.
 func (d *diskCache) load(key string) (*Result, bool) {
 	dir, _ := d.snapshot()
 	if dir == "" {
@@ -149,31 +187,56 @@ func (d *diskCache) load(key string) (*Result, bool) {
 	path := d.path(dir, key)
 	data, err := os.ReadFile(path)
 	if err != nil {
+		// ENOENT (evicted or never written) and every other read error:
+		// a miss, never a deletion — the path may already hold another
+		// process's freshly-written entry.
 		return nil, false
+	}
+	// dropCorrupt discards what we read; it must not touch the path if a
+	// concurrent writer has since replaced the entry we judged.
+	dropCorrupt := func() {
+		if st, err := os.Stat(path); err == nil && st.Size() == int64(len(data)) {
+			os.Remove(path)
+		}
 	}
 	var env diskEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		os.Remove(path)
+		dropCorrupt()
 		return nil, false
 	}
 	if env.Format != runCacheFormat || env.Code != runCacheCodeStamp || env.Key != key {
-		os.Remove(path)
+		dropCorrupt()
 		return nil, false
 	}
 	sum := sha256.Sum256(env.Result)
 	if hex.EncodeToString(sum[:]) != env.Sum {
-		os.Remove(path)
+		dropCorrupt()
 		return nil, false
 	}
 	var res Result
 	if err := json.Unmarshal(env.Result, &res); err != nil {
-		os.Remove(path)
+		dropCorrupt()
 		return nil, false
 	}
-	// Refresh recency so the LRU pruner keeps live cells.
+	// Refresh recency so the LRU pruner keeps live cells. Best-effort:
+	// the entry may have been evicted since the read, which only costs
+	// the refresh.
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	return &res, true
+}
+
+// has reports whether a verified-shape entry file exists for the key
+// without decoding it. The sweep executor uses it to double-check
+// journal "done" claims: a cell is only skipped when its result is
+// actually present (it may have been LRU-evicted since).
+func (d *diskCache) has(key string) bool {
+	dir, _ := d.snapshot()
+	if dir == "" {
+		return false
+	}
+	st, err := os.Stat(d.path(dir, key))
+	return err == nil && st.Size() > 0
 }
 
 // store writes one entry atomically, then prunes. Storage is best-effort:
@@ -221,13 +284,17 @@ func (d *diskCache) store(key string, res *Result) {
 
 // prune evicts entries oldest-first until the directory fits the size
 // cap. Serialised under the cache mutex so concurrent stores do not race
-// the directory scan.
+// the directory scan. Only ".json" entries count toward the size cap and
+// are eviction candidates: orphaned temp files (reclaimed separately by
+// sweepTmpOrphans once stale), lease/journal subdirectories and other
+// foreign files neither inflate the accounted size nor get evicted.
 func (d *diskCache) prune(dir string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dir != dir {
 		return // retargeted while storing
 	}
+	sweepTmpOrphans(dir)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return

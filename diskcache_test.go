@@ -214,6 +214,56 @@ func TestDiskCacheLRUSizeCap(t *testing.T) {
 	}
 }
 
+// TestDiskCacheSweepsTmpOrphans checks that temp files stranded by a
+// writer killed before its atomic rename are reclaimed once past the
+// grace period — and that fresh temp files (a live writer's) survive
+// both the attach-time sweep and the pruner, which must also exclude
+// them from the size accounting.
+func TestDiskCacheSweepsTmpOrphans(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, ".tmp-stranded")
+	fresh := filepath.Join(dir, ".tmp-live")
+	for _, p := range []string{old, fresh} {
+		if err := os.WriteFile(p, []byte("half-written entry"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * runCacheTmpGrace)
+	if err := os.Chtimes(old, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	ResetRunCache()
+	SetRunCaching(true)
+	if err := SetRunCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := SetRunCacheDir(""); err != nil {
+			t.Fatal(err)
+		}
+		SetRunCacheSizeLimit(0)
+		ResetRunCache()
+	})
+
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Error("stale orphan survived the attach-time sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file (a live writer's) was swept: %v", err)
+	}
+
+	// A store under a tiny cap prunes entries by their own size: the
+	// fresh temp file neither counts toward the total nor gets evicted.
+	SetRunCacheSizeLimit(1)
+	if _, err := RunProgram("mcf", SchemePoM, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("pruner removed a live temp file: %v", err)
+	}
+}
+
 // TestDiskCacheIgnoresForeignFiles checks that non-entry files in the
 // cache directory never break loads.
 func TestDiskCacheIgnoresForeignFiles(t *testing.T) {

@@ -70,7 +70,7 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 			}
 		}
 		err := parallelFor(opts.ctx(), len(baseJobs), opts.Parallelism, func(i int) error {
-			_, err := cache.AloneIPC(baseJobs[i].prog, baseJobs[i].scheme, cfg)
+			_, err := cache.AloneIPCContext(opts.ctx(), baseJobs[i].prog, baseJobs[i].scheme, cfg)
 			return err
 		})
 		if err != nil {
@@ -101,7 +101,7 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 			if multiCellHook != nil {
 				multiCellHook(jobs[i].wl, jobs[i].scheme)
 			}
-			wr, err := RunWorkload(jobs[i].wl, jobs[i].scheme, cfg, cache)
+			wr, err := RunWorkloadContext(opts.ctx(), jobs[i].wl, jobs[i].scheme, cfg, cache)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", jobs[i].wl, jobs[i].scheme, err)
 			}
@@ -308,7 +308,7 @@ func RunMemPodComparison(opts ExpOptions) (*AMMATReport, error) {
 		jobs = append(jobs, cellKey{wl, SchemePoM}, cellKey{wl, SchemeMemPod})
 	}
 	err = parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
-		res, err := RunMix(jobs[i].wl, jobs[i].scheme, cfg)
+		res, err := RunMixContext(opts.ctx(), jobs[i].wl, jobs[i].scheme, cfg)
 		if err != nil {
 			return err
 		}

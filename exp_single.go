@@ -58,7 +58,7 @@ func RunSinglePrograms(schemes []Scheme, opts ExpOptions) (*SingleProgramReport,
 			if s > 0 {
 				spec.Params.Seed = workloadSeed(jobs[i].prog, 1000+s)
 			}
-			res, err := RunSpecs([]ProgramSpec{spec}, jobs[i].scheme, cfg)
+			res, err := RunSpecsContext(opts.ctx(), []ProgramSpec{spec}, jobs[i].scheme, cfg)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", jobs[i].prog, jobs[i].scheme, err)
 			}
@@ -185,7 +185,7 @@ func RunSTCSensitivity(opts ExpOptions) (*STCSensitivityReport, error) {
 	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
 		c := cfg
 		c.STCEntries = jobs[i].size
-		res, err := RunProgram(jobs[i].prog, SchemeMDM, c)
+		res, err := RunProgramContext(opts.ctx(), jobs[i].prog, SchemeMDM, c)
 		if err != nil {
 			return fmt.Errorf("%s/stc=%d: %w", jobs[i].prog, jobs[i].size, err)
 		}
@@ -282,7 +282,7 @@ func RunSamplingAccuracy(opts ExpOptions) (*SamplingAccuracyReport, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := sys.Run(); err != nil {
+		if _, err := sys.RunContext(opts.ctx()); err != nil {
 			return err
 		}
 		sigmaReq, raw, avg := policy.RSM().ProbeSeries(0)
@@ -391,7 +391,7 @@ func mdmVsPoMPoint(name string, opts ExpOptions, mod func(Config) Config) (Sensi
 	}
 	ipcs := make([]float64, len(jobs))
 	err := parallelFor(opts.ctx(), len(jobs), opts.Parallelism, func(i int) error {
-		res, err := RunProgram(jobs[i].prog, jobs[i].scheme, cfg)
+		res, err := RunProgramContext(opts.ctx(), jobs[i].prog, jobs[i].scheme, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,150 @@
+package lease
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Status is a journal record's cell transition.
+type Status string
+
+const (
+	// StatusClaimed marks a worker starting (an attempt at) a cell. A
+	// claimed record with no matching done/failed means the worker died
+	// mid-cell; resume re-runs the cell.
+	StatusClaimed Status = "claimed"
+	// StatusDone marks a cell completed, its result durable in the run
+	// cache.
+	StatusDone Status = "done"
+	// StatusFailed marks one failed attempt at a cell.
+	StatusFailed Status = "failed"
+)
+
+// Record is one journal line.
+type Record struct {
+	Key     string `json:"key"`
+	Status  Status `json:"status"`
+	Owner   string `json:"owner"`
+	Attempt int    `json:"attempt,omitempty"`
+	Err     string `json:"err,omitempty"`
+	// Nanos is the wall-clock timestamp (UnixNano). The chaos harness
+	// audits that completed claim/done intervals of different owners
+	// never overlap on one cell.
+	Nanos int64 `json:"t"`
+}
+
+// Journal is one sweep's shared append-only JSONL file. Every worker
+// process of a sweep appends to the same file: each record is a single
+// O_APPEND write well under the atomicity bound of local filesystems, so
+// records from concurrent processes interleave line-whole. Reads are
+// incremental: Tail returns the records appended (by anyone) since the
+// previous Tail, never advancing past a torn final line, so a record
+// whose write was cut by a crash is simply invisible until (if ever)
+// completed.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	w    *os.File
+	off  int64 // next unread byte for Tail
+}
+
+// OpenJournal opens (creating if needed) a journal for appending. The
+// read cursor starts at byte 0, so the first Tail replays the sweep's
+// whole history — resume is a replay plus a subscription.
+func OpenJournal(path string) (*Journal, error) {
+	w, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lease: journal: %w", err)
+	}
+	return &Journal{path: path, w: w}, nil
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record (stamping its time when unset).
+func (j *Journal) Append(r Record) error {
+	if r.Nanos == 0 {
+		r.Nanos = time.Now().UnixNano()
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("lease: journal record: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("lease: journal append: %w", err)
+	}
+	return nil
+}
+
+// Tail returns every complete record appended since the previous Tail
+// (or since open), in file order. Unparseable complete lines are skipped
+// — a corrupt journal degrades to duplicated work, not failure — and a
+// torn final line is left for the next call.
+func (j *Journal) Tail() ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("lease: journal read: %w", err)
+	}
+	if j.off > int64(len(data)) {
+		// Truncated or replaced under us (operator intervention): start
+		// over rather than reading garbage offsets.
+		j.off = 0
+	}
+	data = data[j.off:]
+	end := bytes.LastIndexByte(data, '\n')
+	if end < 0 {
+		return nil, nil // nothing complete yet
+	}
+	recs := parseRecords(data[:end+1])
+	j.off += int64(end + 1)
+	return recs, nil
+}
+
+// Close closes the append handle. The read cursor dies with the Journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Close()
+}
+
+// ReadJournal reads a journal's complete records without opening it for
+// append — the read-only view for audits and tooling.
+func ReadJournal(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if end := bytes.LastIndexByte(data, '\n'); end < 0 {
+		return nil, nil
+	} else {
+		data = data[:end+1]
+	}
+	return parseRecords(data), nil
+}
+
+// parseRecords decodes newline-complete JSONL bytes, skipping corrupt
+// lines.
+func parseRecords(data []byte) []Record {
+	var recs []Record
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if json.Unmarshal(line, &r) != nil {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}

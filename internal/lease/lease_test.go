@@ -1,0 +1,203 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestManager(t *testing.T, dir string, ttl time.Duration) *Manager {
+	t.Helper()
+	m, err := NewManager(Options{Dir: dir, TTL: ttl, Heartbeat: ttl / 4, Plan: "testplan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestAcquireExcludes(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestManager(t, dir, time.Hour)
+	b := newTestManager(t, dir, time.Hour)
+
+	l, err := a.Acquire("cell1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stolen() {
+		t.Error("fresh acquire reported stolen")
+	}
+	if _, err := b.Acquire("cell1"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("second owner acquired a live lease: %v", err)
+	}
+	if got := b.Holder("cell1"); got != a.Owner() {
+		t.Errorf("Holder = %q, want %q", got, a.Owner())
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire("cell1"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestExpiredTakeover(t *testing.T) {
+	dir := t.TempDir()
+	// A SIGKILLed owner leaves its lease file behind with no heartbeat;
+	// write that state directly (Close would release the lease).
+	path := filepath.Join(dir, "cell.lease")
+	if err := os.WriteFile(path, []byte(`{"owner":"dead"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestManager(t, dir, 50*time.Millisecond)
+	lb, err := b.Acquire("cell")
+	if err != nil {
+		t.Fatalf("takeover of an expired lease failed: %v", err)
+	}
+	if !lb.Stolen() {
+		t.Error("takeover not reported as stolen")
+	}
+	if err := lb.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// No reap temporaries may linger.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*reap*"))
+	if len(matches) != 0 {
+		t.Errorf("leaked reap files: %v", matches)
+	}
+}
+
+// Close on a's manager releases held leases, so a crashed-owner
+// simulation must bypass Close. This test reaches into the file to mimic
+// a SIGKILLed owner precisely: the lease file exists, nobody heartbeats.
+func TestExpiredTakeoverRace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cell.lease")
+	if err := os.WriteFile(path, []byte(`{"owner":"dead"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	const claimants = 8
+	managers := make([]*Manager, claimants)
+	for i := range managers {
+		managers[i] = newTestManager(t, dir, time.Minute)
+	}
+	winners := make([]bool, claimants)
+	var wg sync.WaitGroup
+	for i, m := range managers {
+		wg.Add(1)
+		go func(i int, m *Manager) {
+			defer wg.Done()
+			if _, err := m.Acquire("cell"); err == nil {
+				winners[i] = true
+			} else if !errors.Is(err, ErrHeld) {
+				t.Errorf("claimant %d: %v", i, err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	won := 0
+	for _, w := range winners {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d claimants won the expired lease, want exactly 1", won)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestManager(t, dir, 80*time.Millisecond)
+	l, err := a.Acquire("cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newTestManager(t, dir, 80*time.Millisecond)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := b.Acquire("cell"); !errors.Is(err, ErrHeld) {
+			t.Fatalf("heartbeated lease was lost or stolen: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if l.Lost() {
+		t.Error("live lease marked lost")
+	}
+}
+
+func TestLostLeaseDetected(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestManager(t, dir, 40*time.Millisecond)
+	l, err := a.Acquire("cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An operator (or a takeover) removes the file under the owner.
+	if err := os.Remove(filepath.Join(dir, "cell.lease")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !l.Lost() {
+		if time.Now().After(deadline) {
+			t.Fatal("lost lease never detected by heartbeat")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := l.Release(); err != nil {
+		t.Errorf("releasing a lost lease: %v", err)
+	}
+}
+
+func TestSweepExpired(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestManager(t, dir, time.Hour)
+	if _, err := a.Acquire("live"); err != nil {
+		t.Fatal(err)
+	}
+	// A dead owner's lease and an orphaned reap temp.
+	for _, name := range []string{"dead.lease", "dead2.lease.reap-abc"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-time.Hour)
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := SweepExpired(dir, time.Minute); n != 2 {
+		t.Errorf("SweepExpired removed %d, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "live.lease")); err != nil {
+		t.Errorf("live lease swept: %v", err)
+	}
+}
+
+func TestRemoveKeys(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestManager(t, dir, time.Hour)
+	if _, err := a.Acquire("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := RemoveKeys(dir, []string{"k1", "missing"}); n != 1 {
+		t.Errorf("RemoveKeys removed %d, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k1.lease")); !os.IsNotExist(err) {
+		t.Error("k1 lease survived RemoveKeys")
+	}
+}

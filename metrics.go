@@ -1,6 +1,7 @@
 package profess
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -72,6 +73,11 @@ func (b *BaselineCache) key(program string, cfg Config) string {
 // the healthy machine, so injected faults show up as extra slowdown
 // rather than silently rescaling both sides of the ratio.
 func (b *BaselineCache) AloneIPC(program string, scheme Scheme, cfg Config) (float64, error) {
+	return b.AloneIPCContext(context.Background(), program, scheme, cfg)
+}
+
+// AloneIPCContext is AloneIPC honouring the context.
+func (b *BaselineCache) AloneIPCContext(ctx context.Context, program string, scheme Scheme, cfg Config) (float64, error) {
 	cfg.Faults = FaultPlan{}
 	k := string(scheme) + "|" + b.key(program, cfg)
 	b.mu.Lock()
@@ -81,7 +87,7 @@ func (b *BaselineCache) AloneIPC(program string, scheme Scheme, cfg Config) (flo
 	}
 	b.mu.Unlock()
 
-	res, err := RunProgram(program, scheme, cfg)
+	res, err := RunProgramContext(ctx, program, scheme, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -108,6 +114,12 @@ type WorkloadResult struct {
 // slowdowns, weighted speedup and unfairness from stand-alone baselines
 // (computed through the cache; pass nil for a throwaway cache).
 func RunWorkload(name string, scheme Scheme, cfg Config, cache *BaselineCache) (*WorkloadResult, error) {
+	return RunWorkloadContext(context.Background(), name, scheme, cfg, cache)
+}
+
+// RunWorkloadContext is RunWorkload honouring the context: cancellation
+// interrupts both the mix run and the stand-alone baselines mid-flight.
+func RunWorkloadContext(ctx context.Context, name string, scheme Scheme, cfg Config, cache *BaselineCache) (*WorkloadResult, error) {
 	if cache == nil {
 		cache = NewBaselineCache()
 	}
@@ -119,13 +131,13 @@ func RunWorkload(name string, scheme Scheme, cfg Config, cache *BaselineCache) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := runSim(cfg, specs, scheme)
+	res, err := runSimCtx(ctx, cfg, specs, scheme)
 	if err != nil {
 		return nil, err
 	}
 	wr := &WorkloadResult{Workload: name, Scheme: scheme, Result: res}
 	for i, spec := range specs {
-		alone, err := cache.AloneIPC(spec.Name, scheme, cfg)
+		alone, err := cache.AloneIPCContext(ctx, spec.Name, scheme, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,8 @@
 package profess
 
 import (
+	"context"
+
 	"profess/internal/fault"
 	"profess/internal/hybrid"
 	"profess/internal/sim"
@@ -112,27 +114,40 @@ func Programs() []Program { return workload.Programs() }
 // Workloads returns the Table 10 multiprogrammed mixes.
 func Workloads() []Workload { return workload.Workloads() }
 
-// runSimUncached executes one simulation, unconditionally. runSim (the
-// cache-aware funnel in runcache.go) wraps it; every scheme-based entry
-// point below goes through runSim, so identical runs within one process
-// are memoised. See SetRunCaching to opt out.
-func runSimUncached(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
-	return sim.Run(cfg, specs, scheme)
+// runSimUncached executes one simulation, unconditionally. runSim /
+// runSimCtx (the cache-aware funnel in runcache.go) wrap it; every
+// scheme-based entry point below goes through that funnel, so identical
+// runs within one process are memoised. See SetRunCaching to opt out.
+// The context's deadline/cancellation is polled inside the event loop,
+// so an in-flight simulation aborts within one watchdog epoch.
+func runSimUncached(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	return sim.RunContext(ctx, cfg, specs, scheme)
 }
 
 // RunProgram runs one named Table 9 program under the given scheme.
 func RunProgram(name string, scheme Scheme, cfg Config) (*Result, error) {
+	return RunProgramContext(context.Background(), name, scheme, cfg)
+}
+
+// RunProgramContext is RunProgram honouring the context: cancellation
+// interrupts the simulation mid-flight, not just before it starts.
+func RunProgramContext(ctx context.Context, name string, scheme Scheme, cfg Config) (*Result, error) {
 	spec, err := sim.SpecForProgram(name, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	return runSim(cfg, []ProgramSpec{spec}, scheme)
+	return runSimCtx(ctx, cfg, []ProgramSpec{spec}, scheme)
 }
 
 // RunMix runs a Table 10 workload (by name) under the given scheme,
 // without slowdown baselines; see RunWorkload for the full fairness
 // metrics.
 func RunMix(name string, scheme Scheme, cfg Config) (*Result, error) {
+	return RunMixContext(context.Background(), name, scheme, cfg)
+}
+
+// RunMixContext is RunMix honouring the context.
+func RunMixContext(ctx context.Context, name string, scheme Scheme, cfg Config) (*Result, error) {
 	w, err := workload.WorkloadByName(name)
 	if err != nil {
 		return nil, err
@@ -141,13 +156,18 @@ func RunMix(name string, scheme Scheme, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runSim(cfg, specs, scheme)
+	return runSimCtx(ctx, cfg, specs, scheme)
 }
 
 // RunSpecs runs explicit program specs under the given scheme — the
 // entry point for custom workloads and custom generator parameters.
 func RunSpecs(specs []ProgramSpec, scheme Scheme, cfg Config) (*Result, error) {
-	return runSim(cfg, specs, scheme)
+	return RunSpecsContext(context.Background(), specs, scheme, cfg)
+}
+
+// RunSpecsContext is RunSpecs honouring the context.
+func RunSpecsContext(ctx context.Context, specs []ProgramSpec, scheme Scheme, cfg Config) (*Result, error) {
+	return runSimCtx(ctx, cfg, specs, scheme)
 }
 
 // Migration-policy extension surface: user code can implement Policy (most

@@ -1,6 +1,7 @@
 package profess
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -155,6 +156,14 @@ func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
 // cachedRun memoises run() under the given key with singleflight
 // semantics, consulting the persistent tier before simulating and writing
 // fresh results through to it.
+//
+// Failures are never memoised: a run that errors (a cancelled context, a
+// transient injected fault, a wedged watchdog abort) evicts its entry so
+// the next caller re-attempts, rather than poisoning the key for the
+// process's lifetime. Callers already waiting on the singleflight share
+// the error — they asked for that attempt — but retries (the sweep
+// executor's backoff loop, RunMultiProgram's second pass) get a fresh
+// simulation.
 func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, error) {
 	c.mu.Lock()
 	e, ok := c.m[key]
@@ -189,6 +198,13 @@ func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, 
 	case simulated:
 		c.sims.Add(1)
 	}
+	if e.err != nil {
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.res, e.err
 }
 
@@ -196,13 +212,34 @@ func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, 
 // package goes through. While a sweep plan is being built (PlanSweep) it
 // records the cell and returns a stub instead of simulating.
 func runSim(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	return runSimCtx(context.Background(), cfg, specs, scheme)
+}
+
+// runSimCtx is runSim under a context: the deadline/cancellation reaches
+// the simulation's event loop (sim.RunContext polls it every
+// watchdog-check epoch), so an in-flight cell stops within one epoch of
+// cancellation rather than running to completion. Under the singleflight
+// the first caller's context governs the shared attempt; a join cannot
+// abandon it early, but a cancelled attempt is not memoised (see
+// cachedRun), so later callers retry cleanly.
+func runSimCtx(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 	if pc := activePlan.Load(); pc != nil {
 		return pc.record(cfg, specs, scheme), nil
 	}
 	if !cacheable(cfg, specs) {
-		return runSimUncached(cfg, specs, scheme)
+		return runSimUncached(ctx, cfg, specs, scheme)
 	}
 	return theRunCache.cachedRun(runKey(cfg, specs, scheme), func() (*Result, error) {
-		return runSimUncached(cfg, specs, scheme)
+		if simCellHook != nil {
+			if err := simCellHook(runKey(cfg, specs, scheme)); err != nil {
+				return nil, err
+			}
+		}
+		return runSimUncached(ctx, cfg, specs, scheme)
 	})
 }
+
+// simCellHook, when non-nil, runs before every real (cache-missing)
+// simulation in the runSim funnel. It exists for tests, which use it to
+// inject transient failures and artificial latency into sweep cells.
+var simCellHook func(key string) error

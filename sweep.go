@@ -2,13 +2,21 @@ package profess
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"profess/internal/lease"
 )
 
 // The sweep planner sits above the experiment drivers. The paper's
@@ -211,61 +219,490 @@ func PlanSweep(exps []PlannedExperiment) (*SweepPlan, error) {
 	return plan, nil
 }
 
+// Hash identifies the plan by its cell set: the SHA-256 over the sorted
+// cell keys (which already content-hash every input of every cell). Two
+// processes planning the same experiments at the same code version get
+// the same hash, which is what lets them share one journal.
+func (p *SweepPlan) Hash() string {
+	keys := make([]string, len(p.Cells))
+	for i, c := range p.Cells {
+		keys[i] = c.Key
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep-journal-v1\x00")
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s\x00", k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ExecOptions tunes SweepPlan.ExecuteOpts. The zero value gives a
+// GOMAXPROCS pool with the durability defaults below.
+type ExecOptions struct {
+	// Parallelism bounds concurrent cells in this process (0 = GOMAXPROCS).
+	Parallelism int
+	// Fresh discards a previous journal for this plan instead of
+	// resuming it. Only set it when no other worker process is attached
+	// to the sweep.
+	Fresh bool
+	// LeaseTTL is how stale a cell claim's heartbeat may grow before
+	// other workers presume its owner dead and take the cell over
+	// (default 10s).
+	LeaseTTL time.Duration
+	// Heartbeat is the lease refresh period (default LeaseTTL/4).
+	Heartbeat time.Duration
+	// Poll is how often a worker re-checks cells held by other processes
+	// and tails the shared journal while waiting (default 200ms).
+	Poll time.Duration
+	// MaxAttempts caps per-cell attempts across transient failures,
+	// counting failed attempts recorded in the journal by any process
+	// (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay between attempts at one cell; it
+	// doubles per attempt and is capped at 16x (default 100ms).
+	RetryBackoff time.Duration
+	// Owner overrides the lease owner id (default host:pid:nonce).
+	Owner string
+}
+
+func (o ExecOptions) withDefaults() ExecOptions {
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = lease.DefaultTTL
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.Poll <= 0 {
+		o.Poll = 200 * time.Millisecond
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ExecReport summarises one ExecuteOpts call.
+type ExecReport struct {
+	// Cells is the plan size.
+	Cells int
+	// Done counts cells this call completed (simulated or loaded).
+	Done int
+	// Resumed counts cells skipped because the journal already recorded
+	// them done (with the result still present in the disk cache).
+	Resumed int
+	// External counts cells completed by another live process while this
+	// one waited.
+	External int
+	// Stolen counts expired leases this process took over from
+	// presumed-dead owners.
+	Stolen int
+	// Retries counts transient per-cell attempt retries.
+	Retries int
+	// Failed counts cells that exhausted their attempts.
+	Failed int
+	// JournalPath is the shared journal file ("" when executing without
+	// a persistent cache directory).
+	JournalPath string
+}
+
+// Cell execution states for the in-memory scoreboard.
+const (
+	cellPending = iota // free to claim
+	cellHeld           // lease held by another live process; revisit on poll
+	cellRunning        // claimed by this process
+	cellDone
+	cellFailed
+)
+
+// execState is the per-call scoreboard shared by this process's workers.
+type execState struct {
+	mu     sync.Mutex
+	status []int
+	// fails counts recorded failed attempts per cell, seeded from the
+	// journal so attempts are capped across processes and restarts.
+	fails []int
+	errs  []error
+	byKey map[string]int
+	rep   ExecReport
+}
+
+// apply folds journal records (replayed history or a live tail) into the
+// scoreboard. Done records from other processes flip cells this process
+// has not completed itself; claimed records are ignored — a claim proves
+// nothing about completion, and liveness is the lease's job.
+func (st *execState) apply(recs []lease.Record, owner string, resumed bool, confirm func(key string) bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, r := range recs {
+		i, ok := st.byKey[r.Key]
+		if !ok {
+			continue // a different (e.g. superset) plan shares the journal dir
+		}
+		switch r.Status {
+		case lease.StatusDone:
+			if st.status[i] == cellDone || st.status[i] == cellFailed {
+				continue
+			}
+			if confirm != nil && !confirm(r.Key) {
+				// Journal says done but the cache entry is gone (LRU
+				// eviction, operator rm): re-simulate.
+				continue
+			}
+			st.status[i] = cellDone
+			st.errs[i] = nil
+			if resumed {
+				st.rep.Resumed++
+			} else if r.Owner != owner {
+				st.rep.External++
+			}
+		case lease.StatusFailed:
+			st.fails[i]++
+		}
+	}
+}
+
+// next claims the first pending cell (plan order is longest-first), or
+// reports whether everything is settled.
+func (st *execState) next() (i int, settled bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	settled = true
+	for j, s := range st.status {
+		switch s {
+		case cellPending:
+			st.status[j] = cellRunning
+			return j, false
+		case cellHeld, cellRunning:
+			settled = false
+		}
+	}
+	return -1, settled
+}
+
+// releaseHeld flips every held-elsewhere cell back to pending so the
+// next claim attempt re-tests its lease (which may have expired or been
+// released).
+func (st *execState) releaseHeld() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for j, s := range st.status {
+		if s == cellHeld {
+			st.status[j] = cellPending
+		}
+	}
+}
+
+func (st *execState) set(i, status int, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// A poll may have marked the cell done from another process's journal
+	// record while this process was (redundantly) finishing it; done
+	// stays done.
+	if st.status[i] == cellDone && status != cellDone {
+		return
+	}
+	st.status[i] = status
+	st.errs[i] = err
+	switch status {
+	case cellDone:
+		st.errs[i] = nil
+		st.rep.Done++
+	case cellFailed:
+		st.rep.Failed++
+	}
+}
+
 // Execute simulates every planned cell once on one global worker pool,
-// longest-expected-job-first: workers pull the next unclaimed cell, so
-// the big quad-core mixes start immediately and the cheap stand-alone
-// baselines backfill around them. Results land in the run cache (and its
-// persistent tier when configured); cells already cached are near-free
-// hits. Failures are joined, not fatal mid-sweep: every cell is
-// attempted.
+// longest-expected-job-first. It is ExecuteOpts with defaults; see there
+// for the durability contract.
 func (p *SweepPlan) Execute(ctx context.Context, parallelism int) error {
+	_, err := p.ExecuteOpts(ctx, ExecOptions{Parallelism: parallelism})
+	return err
+}
+
+// ExecuteOpts simulates every planned cell, crash-safely and
+// multi-process-safely when the persistent run cache is configured:
+//
+//   - Each cell is claimed through a heartbeat-refreshed lease file
+//     under <cachedir>/leases, so any number of processes (or hosts
+//     sharing the directory) can execute one plan without duplicating
+//     work; a worker that dies mid-cell is presumed dead after LeaseTTL
+//     and its cells are taken over.
+//   - Progress is journaled to an append-only JSONL file under
+//     <cachedir>/sweeps keyed by the plan hash. A fresh process resumes
+//     an interrupted sweep by replaying the journal and skipping cells
+//     whose results are already durable; Fresh discards the history.
+//   - Transient cell failures retry with capped exponential backoff,
+//     with attempts counted across processes through the journal.
+//   - Cancellation is distinct from failure: when ctx is cancelled the
+//     call stops claiming cells, interrupts in-flight simulations within
+//     one watchdog epoch, releases its leases, and returns ctx.Err()
+//     itself — not joined into cell errors — leaving the journal in a
+//     state a later call (or process) resumes from.
+//
+// Without a cache directory the same loop runs in-process only: no
+// leases, no journal, nothing durable. Results land in the run cache
+// (and its persistent tier when configured); cells already cached are
+// near-free hits. Cell failures are joined, not fatal mid-sweep: every
+// cell is attempted.
+func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecReport, error) {
 	if !RunCaching() {
-		return errors.New("profess: Execute needs the run cache (SetRunCaching(true))")
+		return nil, errors.New("profess: Execute needs the run cache (SetRunCaching(true))")
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	opts = opts.withDefaults()
 	n := len(p.Cells)
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+
+	st := &execState{
+		status: make([]int, n),
+		fails:  make([]int, n),
+		errs:   make([]error, n),
+		byKey:  make(map[string]int, n),
 	}
-	if workers > n {
-		workers = n
+	st.rep.Cells = n
+	for i, c := range p.Cells {
+		st.byKey[c.Key] = i
 	}
-	errs := make([]error, n)
-	run := func(i int) (err error) {
+
+	// Durable coordination state, engaged when the persistent tier is
+	// configured.
+	var (
+		mgr     *lease.Manager
+		jnl     *lease.Journal
+		doneKey = make([]string, 0, n)
+	)
+	if dir := RunCacheDir(); dir != "" && n > 0 {
+		sweepDir := filepath.Join(dir, "sweeps")
+		if err := os.MkdirAll(sweepDir, 0o755); err != nil {
+			return nil, fmt.Errorf("profess: sweep journal dir: %w", err)
+		}
+		jpath := filepath.Join(sweepDir, p.Hash()+".jsonl")
+		if opts.Fresh {
+			if err := os.Remove(jpath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("profess: discard journal: %w", err)
+			}
+		}
+		var err error
+		mgr, err = lease.NewManager(lease.Options{
+			Dir:       filepath.Join(dir, "leases"),
+			Owner:     opts.Owner,
+			Plan:      p.Hash(),
+			TTL:       opts.LeaseTTL,
+			Heartbeat: opts.Heartbeat,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("profess: lease manager: %w", err)
+		}
+		defer mgr.Close()
+		jnl, err = lease.OpenJournal(jpath)
+		if err != nil {
+			return nil, fmt.Errorf("profess: sweep journal: %w", err)
+		}
+		defer jnl.Close()
+		st.rep.JournalPath = jpath
+
+		// Resume: replay the whole journal. Only done records whose
+		// results are still present in the disk cache are trusted.
+		recs, err := jnl.Tail()
+		if err != nil {
+			return nil, fmt.Errorf("profess: journal replay: %w", err)
+		}
+		st.apply(recs, mgr.Owner(), true, theDiskCache.has)
+	}
+
+	// poll refreshes the scoreboard from other processes' journal
+	// records and re-opens held cells for claiming.
+	poll := func() {
+		if jnl != nil {
+			if recs, err := jnl.Tail(); err == nil {
+				st.apply(recs, mgr.Owner(), false, theDiskCache.has)
+			}
+		}
+		st.releaseHeld()
+	}
+
+	// sleep waits d or until cancellation.
+	sleep := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+
+	journal := func(i int, status lease.Status, attempt int, err error) {
+		if jnl == nil {
+			return
+		}
+		rec := lease.Record{Key: p.Cells[i].Key, Status: status, Owner: mgr.Owner(), Attempt: attempt}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		_ = jnl.Append(rec) // best-effort: a lost record costs duplicated work, not correctness
+	}
+
+	// runCell performs one attempt, with panic containment matching
+	// parallelFor's.
+	runCell := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
 			}
 		}()
 		c := &p.Cells[i]
-		if _, err := runSim(c.Cfg, c.Specs, c.Scheme); err != nil {
+		if _, err := runSimCtx(ctx, c.Cfg, c.Specs, c.Scheme); err != nil {
 			return fmt.Errorf("cell %s/%s: %w", c.Scheme, c.Key[:12], err)
 		}
 		return nil
 	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
+
+	// attemptCell drives one claimed cell through its bounded retries.
+	attemptCell := func(i int) {
+		var l *lease.Lease
+		if mgr != nil {
+			var err error
+			l, err = mgr.Acquire(p.Cells[i].Key)
+			if errors.Is(err, lease.ErrHeld) {
+				st.set(i, cellHeld, nil)
+				return
+			}
+			if err != nil {
+				// Lease machinery broken (permissions, disk full):
+				// degrade to uncoordinated execution rather than
+				// wedging the sweep; the run cache keeps it correct.
+				l = nil
+			} else {
+				if l.Stolen() {
+					st.mu.Lock()
+					st.rep.Stolen++
+					st.mu.Unlock()
+				}
+				defer l.Release()
+			}
+		}
+		st.mu.Lock()
+		attempt := st.fails[i]
+		st.mu.Unlock()
+		var lastErr error
+		first := true
+		for ; attempt < opts.MaxAttempts; attempt++ {
+			if ctx.Err() != nil {
+				// Leave no terminal record: the claim stays dangling in
+				// the journal and resume re-runs the cell.
+				st.set(i, cellPending, nil)
+				return
+			}
+			if !first {
+				st.mu.Lock()
+				st.rep.Retries++
+				st.mu.Unlock()
+				backoff := opts.RetryBackoff << (attempt - 1)
+				if max := opts.RetryBackoff << 4; backoff > max {
+					backoff = max
+				}
+				if !sleep(backoff) {
+					st.set(i, cellPending, nil)
+					return
+				}
+			}
+			first = false
+			journal(i, lease.StatusClaimed, attempt, nil)
+			err := runCell(i)
+			if err == nil {
+				journal(i, lease.StatusDone, attempt, nil)
+				st.set(i, cellDone, nil)
+				return
+			}
+			if ctx.Err() != nil {
+				// The failure is (or is masked by) cancellation; resume
+				// will retry with a live context.
+				st.set(i, cellPending, nil)
+				return
+			}
+			lastErr = err
+			journal(i, lease.StatusFailed, attempt, err)
+			st.mu.Lock()
+			st.fails[i]++
+			st.mu.Unlock()
+		}
+		st.set(i, cellFailed, lastErr)
+	}
+
+	workers := opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || ctx.Err() != nil {
+				// The cancellation check precedes the claim, so a
+				// cancelled worker never marks a cell running (or
+				// journals a claim) it will not attempt.
+				if ctx.Err() != nil {
 					return
 				}
-				errs[i] = run(i)
+				i, settled := st.next()
+				if i < 0 {
+					if settled {
+						return
+					}
+					// Everything unfinished is held by another process
+					// (or running locally): wait, absorb their journal
+					// records, retest leases.
+					if !sleep(opts.Poll) {
+						return
+					}
+					poll()
+					continue
+				}
+				attemptCell(i)
 			}
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		errs = append(errs, err)
+
+	st.mu.Lock()
+	rep := st.rep
+	var errs []error
+	for i, s := range st.status {
+		if s == cellFailed && st.errs[i] != nil {
+			errs = append(errs, st.errs[i])
+		}
+		if s == cellDone {
+			doneKey = append(doneKey, p.Cells[i].Key)
+		}
 	}
-	return errors.Join(errs...)
+	st.mu.Unlock()
+
+	if mgr != nil {
+		// End-of-sweep hygiene: drop lease files for cells the journal
+		// proves complete (left by owners killed between completion and
+		// release, or by stragglers re-verifying finished cells) plus
+		// any expired leases and takeover temporaries. Live claims of
+		// unfinished cells are untouched.
+		lease.RemoveKeys(filepath.Join(RunCacheDir(), "leases"), doneKey)
+		lease.SweepExpired(filepath.Join(RunCacheDir(), "leases"), opts.LeaseTTL)
+	}
+
+	// Cancellation is reported alone: callers distinguish "the user
+	// stopped the sweep" (resume later) from "cells failed".
+	if err := ctx.Err(); err != nil {
+		return &rep, err
+	}
+	return &rep, errors.Join(errs...)
 }
