@@ -10,7 +10,12 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke quick cover fuzz-smoke
+
+# Minimum statement coverage (percent) for internal/analytic, enforced by
+# `make xval-smoke`: the closed-form tier is only trustworthy while its
+# invariant and error-envelope tests actually exercise it.
+ANALYTIC_COVER_MIN ?= 80
 
 # Label recorded for a `make bench-json` run inside BENCH_FILE.
 BENCH_LABEL ?= local
@@ -116,6 +121,23 @@ chaos-smoke:
 		echo "leaked lease/temp files:"; \
 		find bin/chaoscache \( -name '*.lease' -o -name '*.lease.reap-*' -o -name '.tmp-*' \); exit 1; fi; \
 	echo "chaos smoke: no leaked lease or temp files"
+
+# xval-smoke is the CI guard for the analytic fast tier: the committed
+# cross-validation error envelope and the sweep-pruning safety audit
+# (prune rate, figure transparency, true-delta margin) run under the
+# race detector, then internal/analytic must clear its own coverage
+# floor.
+xval-smoke:
+	$(GO) test -race -count=1 -timeout 30m \
+		-run 'TestXValEnvelope|TestXValReportRendering|TestPruneSafety' .
+	@mkdir -p bin
+	$(GO) test -coverprofile=bin/analytic-cover.out ./internal/analytic
+	@$(GO) tool cover -func=bin/analytic-cover.out | awk -v min=$(ANALYTIC_COVER_MIN) ' \
+		/^total:/ { sub(/%/, "", $$3); total = $$3 } \
+		END { \
+			printf "internal/analytic coverage: %.1f%% (minimum %s%%)\n", total, min; \
+			if (total + 0 < min + 0) { print "analytic coverage below minimum"; exit 1 } \
+		}'
 
 # cover fails the build when total statement coverage drops under COVER_MIN.
 cover:

@@ -119,6 +119,9 @@ func experiments() []experiment {
 			}
 			return profess.RunFaultSweep(nil, nil, opts)
 		}},
+		{"xval", "analytic fast tier vs cycle model: IPC/M1/lifetime cross-validation", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunCrossValidation(profess.Schemes(), opts)
+		}},
 	}
 }
 
@@ -162,6 +165,8 @@ func main() {
 		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
 		benchout = flag.String("benchout", "", "write go-bench-format wall-time and cache-counter lines to this file (pipe into benchjson)")
 		resume   = flag.Bool("resume", true, "resume an interrupted sweep from its journal in the cache directory; -resume=false discards prior progress and starts fresh")
+		prune    = flag.Bool("prune", false, "prune planned cells whose scheme the analytic fast tier cannot distinguish from a representative; pruned cells render from the representative's result")
+		prunemgn = flag.Float64("prunemargin", profess.DefaultPruneMargin, "analytic indistinguishability margin for -prune (see EXPERIMENTS.md before raising it)")
 	)
 	flag.Parse()
 
@@ -278,6 +283,16 @@ func main() {
 		if len(plan.Unplannable) > 0 {
 			fmt.Fprintf(os.Stderr, "professbench: plan: unplannable (simulate at render): %s\n", strings.Join(plan.Unplannable, ", "))
 		}
+		if *prune {
+			requested := len(plan.Cells)
+			dropped := plan.Prune(*prunemgn)
+			pct := 0.0
+			if requested > 0 {
+				pct = 100 * float64(len(dropped)) / float64(requested)
+			}
+			fmt.Fprintf(os.Stderr, "professbench: prune: %d of %d cells aliased to analytic-equivalent representatives (%.1f%% at margin %.2f)\n",
+				len(dropped), requested, pct, *prunemgn)
+		}
 		expvarCurrent.Set("execute")
 		rep, err := plan.ExecuteOpts(ctx, profess.ExecOptions{Parallelism: *par, Fresh: !*resume})
 		if errors.Is(err, context.Canceled) {
@@ -292,6 +307,9 @@ func main() {
 		d := profess.RunCacheDetail().Sub(before)
 		fmt.Fprintf(os.Stderr, "professbench: execute: %d simulated, %d from disk, %d already in memory (%.1fs)\n",
 			d.Sims, d.DiskHits, d.MemHits, time.Since(start).Seconds())
+		if rep.Pruned > 0 {
+			fmt.Fprintf(os.Stderr, "professbench: execute: %d pruned cells served by their representatives\n", rep.Pruned)
+		}
 		if rep.Resumed > 0 || rep.External > 0 || rep.Stolen > 0 || rep.Retries > 0 {
 			fmt.Fprintf(os.Stderr, "professbench: execute: %d resumed from journal, %d by other workers, %d leases taken over, %d retries\n",
 				rep.Resumed, rep.External, rep.Stolen, rep.Retries)

@@ -202,6 +202,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 			program, cfg.Instructions, threads, cfg.Scale, t.String())
 		for _, s := range schemes {
 			if res := results[s]; res != nil {
+				printNVMWear(string(s), res)
 				printResilience(string(s), res)
 			}
 		}
@@ -224,6 +225,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 			}
 			fmt.Printf("scheme %s: swapFrac=%.4f stcHit=%.3f energyEff=%.3g\n%s\n",
 				s, res.SwapFraction, res.STCHitRate, res.EnergyEff, t.String())
+			printNVMWear(string(s), res)
 			printResilience(string(s), res)
 			continue
 		}
@@ -238,8 +240,21 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 		}
 		fmt.Printf("scheme %s: weighted speedup=%.3f  max slowdown=%.3f  swap frac=%.4f  energy eff=%.3g\n%s\n",
 			s, wr.WeightedSpeedup, wr.MaxSlowdown, wr.Result.SwapFraction, wr.Result.EnergyEff, t.String())
+		printNVMWear(string(s), wr.Result)
 		printResilience(string(s), wr.Result)
 	}
+}
+
+// printNVMWear reports M2 write wear and the projected device lifetime
+// when the run wrote to M2 at all.
+func printNVMWear(scheme string, res *profess.Result) {
+	w := res.NVM
+	if w.WriteBursts == 0 {
+		return
+	}
+	fmt.Printf("nvm wear %s: writes=%d rows=%d/%d hottest=%d leveling=%.3f lifetime=%.3gs (ideal %.3gs)\n",
+		scheme, w.WriteBursts, w.WrittenRows, w.Rows, w.MaxRowWrites,
+		w.LevelingEfficiency, w.LifetimeSeconds, w.LifetimeIdealSeconds)
 }
 
 // printResilience reports fault-injection activity when there was any.

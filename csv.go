@@ -23,13 +23,17 @@ func csvRow(cells ...string) string {
 
 func f3(v float64) string { return fmt.Sprintf("%.4f", v) }
 
+// fg formats wide-range positive quantities (e.g. lifetimes in seconds)
+// without the fixed-point precision loss of f3.
+func fg(v float64) string { return fmt.Sprintf("%.6g", v) }
+
 // CSV renders the Fig. 5-7 data: one row per (program, scheme).
 func (r *SingleProgramReport) CSV() string {
 	var b strings.Builder
-	b.WriteString(csvRow("program", "scheme", "ipc", "m1_fraction", "stc_hit_rate", "avg_read_latency_cycles", "swaps") + "\n")
+	b.WriteString(csvRow("program", "scheme", "ipc", "m1_fraction", "stc_hit_rate", "avg_read_latency_cycles", "swaps", "nvm_lifetime_s") + "\n")
 	for _, row := range r.Rows {
 		b.WriteString(csvRow(row.Program, string(row.Scheme), f3(row.IPC), f3(row.M1Fraction),
-			f3(row.STCHitRate), f3(row.AvgReadLat), fmt.Sprint(row.Swaps)) + "\n")
+			f3(row.STCHitRate), f3(row.AvgReadLat), fmt.Sprint(row.Swaps), fg(row.LifetimeSeconds)) + "\n")
 	}
 	return b.String()
 }
@@ -70,10 +74,10 @@ func (r *SensitivityReport) CSV() string {
 func (r *MultiProgramReport) CSV() string {
 	var b strings.Builder
 	b.WriteString(csvRow("workload", "scheme", "weighted_speedup", "max_slowdown",
-		"energy_efficiency_req_per_joule", "swap_fraction", "avg_read_latency_cycles") + "\n")
+		"energy_efficiency_req_per_joule", "swap_fraction", "avg_read_latency_cycles", "nvm_lifetime_s") + "\n")
 	for _, c := range r.Cells {
 		b.WriteString(csvRow(c.Workload, string(c.Scheme), f3(c.WeightedSpeedup), f3(c.MaxSlowdown),
-			fmt.Sprintf("%.0f", c.EnergyEff), f3(c.SwapFraction), f3(c.AvgReadLat)) + "\n")
+			fmt.Sprintf("%.0f", c.EnergyEff), f3(c.SwapFraction), f3(c.AvgReadLat), fg(c.LifetimeSeconds)) + "\n")
 	}
 	b.WriteString("\n" + csvRow("workload", "scheme", "program", "slowdown") + "\n")
 	for _, c := range r.Cells {

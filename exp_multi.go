@@ -18,6 +18,9 @@ type MultiProgramCell struct {
 	EnergyEff       float64
 	SwapFraction    float64
 	AvgReadLat      float64
+	// LifetimeSeconds projects M2 device lifetime from the cell's write
+	// wear, bounded by its hottest row (see sim.NVMWear).
+	LifetimeSeconds float64
 	Slowdowns       []float64
 	Programs        []string
 	// Resilience tallies the cell's fault injection and degradation
@@ -124,6 +127,7 @@ func RunMultiProgram(schemes []Scheme, opts ExpOptions) (*MultiProgramReport, er
 				EnergyEff:       wr.Result.EnergyEff,
 				SwapFraction:    wr.Result.SwapFraction,
 				AvgReadLat:      lat,
+				LifetimeSeconds: wr.Result.NVM.LifetimeSeconds,
 				Slowdowns:       wr.Slowdowns,
 				Programs:        programs,
 				Resilience:      wr.Result.Resilience,
@@ -229,9 +233,9 @@ func GeoMeanSeries(m map[string]float64) float64 {
 // summaries of Figs. 10-15.
 func (r *MultiProgramReport) String() string {
 	var b strings.Builder
-	t := stats.NewTable("workload", "scheme", "WS", "max sdn", "energy eff", "swap frac", "read lat")
+	t := stats.NewTable("workload", "scheme", "WS", "max sdn", "energy eff", "swap frac", "read lat", "M2 life")
 	for _, c := range r.Cells {
-		t.AddRowf(c.Workload, string(c.Scheme), c.WeightedSpeedup, c.MaxSlowdown, c.EnergyEff, c.SwapFraction, c.AvgReadLat)
+		t.AddRowf(c.Workload, string(c.Scheme), c.WeightedSpeedup, c.MaxSlowdown, c.EnergyEff, c.SwapFraction, c.AvgReadLat, secsShort(c.LifetimeSeconds))
 	}
 	b.WriteString(t.String())
 	for _, s := range r.Schemes {

@@ -21,6 +21,9 @@ type SingleProgramRow struct {
 	STCHitRate float64
 	AvgReadLat float64
 	Swaps      int64
+	// LifetimeSeconds projects M2 device lifetime from the run's write
+	// wear, bounded by its hottest row (see sim.NVMWear).
+	LifetimeSeconds float64
 }
 
 // SingleProgramReport regenerates Figs. 5-7: per-program IPC, M1-served
@@ -68,6 +71,7 @@ func RunSinglePrograms(schemes []Scheme, opts ExpOptions) (*SingleProgramReport,
 			row.STCHitRate += c.STCHitRate
 			row.AvgReadLat += c.AvgReadLat
 			row.Swaps += c.Swaps
+			row.LifetimeSeconds += res.NVM.LifetimeSeconds
 		}
 		n := float64(len(ipcs))
 		row.IPC = stats.Mean(ipcs)
@@ -75,6 +79,7 @@ func RunSinglePrograms(schemes []Scheme, opts ExpOptions) (*SingleProgramReport,
 		row.M1Fraction /= n
 		row.STCHitRate /= n
 		row.AvgReadLat /= n
+		row.LifetimeSeconds /= n
 		row.Swaps = int64(float64(row.Swaps) / n)
 		rows[i] = row
 		return nil
@@ -125,9 +130,9 @@ func (r *SingleProgramReport) Ratios(num, den Scheme, metric string) map[string]
 // String renders the Fig. 5/6/7 tables.
 func (r *SingleProgramReport) String() string {
 	var b strings.Builder
-	t := stats.NewTable("program", "scheme", "IPC", "M1 frac", "STC hit", "read lat", "swaps")
+	t := stats.NewTable("program", "scheme", "IPC", "M1 frac", "STC hit", "read lat", "swaps", "M2 life")
 	for _, row := range r.Rows {
-		t.AddRowf(row.Program, string(row.Scheme), row.IPC, row.M1Fraction, row.STCHitRate, row.AvgReadLat, row.Swaps)
+		t.AddRowf(row.Program, string(row.Scheme), row.IPC, row.M1Fraction, row.STCHitRate, row.AvgReadLat, row.Swaps, secsShort(row.LifetimeSeconds))
 	}
 	b.WriteString(t.String())
 

@@ -109,6 +109,9 @@ type Channel struct {
 	Counts EventCounts
 	// BusBusyCycles accumulates data-bus occupancy (demand bursts only).
 	BusBusyCycles int64
+	// m2RowWrites tallies write bursts per M2 row (bank-major) for wear
+	// and lifetime reporting; see wear.go.
+	m2RowWrites []int64
 	// QueueDepthSamples support average-queue-depth reporting.
 	queueDepthSum int64
 	queueSamples  int64
@@ -127,6 +130,8 @@ func NewChannel(cfg ChannelConfig, sched event.Scheduler) *Channel {
 			ch.banks[k][i].openRow = -1
 		}
 	}
+	g2 := ch.cfg.M2Geom
+	ch.m2RowWrites = make([]int64, int64(g2.Banks)*g2.RowsPerBank)
 	return ch
 }
 
@@ -162,6 +167,9 @@ func (ch *Channel) RegisterTelemetry(s *telemetry.Sampler, prefix string) {
 		return ch.Counts.Reads[M2] + ch.Counts.Writes[M2]
 	})
 	s.Counter(prefix+".swaps", func() int64 { return ch.Counts.Swaps })
+	s.Counter(prefix+".m2_wear_writes", func() int64 {
+		return ch.Counts.Writes[M2] + ch.Counts.SwapWrites[M2]
+	})
 }
 
 // Channel event kinds for the typed scheduling path.
@@ -314,6 +322,9 @@ func (ch *Channel) issue(now int64, r *Request) {
 	if r.IsWrite {
 		b.writeRecoveryUntil = done + t.TWR
 		ch.Counts.Writes[k]++
+		if k == M2 {
+			ch.noteM2Write(r.Bank, r.Row, 1)
+		}
 	} else {
 		ch.Counts.Reads[k]++
 	}
@@ -362,6 +373,7 @@ func (ch *Channel) Swap(m1Loc, m2Loc SwapLocation, onDone func(now int64)) int64
 	ch.Counts.SwapReads[M2] += n
 	ch.Counts.SwapWrites[M1] += n
 	ch.Counts.SwapWrites[M2] += n
+	ch.noteM2Write(m2Loc.Bank, m2Loc.Row, n)
 	// One activation per involved row on each side (block = quarter row at
 	// Table 8 sizes, but a swap touches each block's row once per phase).
 	ch.Counts.Activates[M1]++

@@ -1,0 +1,74 @@
+package mem
+
+// NVM write endurance. M2 cells wear out: each 64-B line survives a
+// bounded number of write bursts before it can no longer be programmed
+// reliably. The channel already observes every M2 write burst (demand
+// writes in issue, block swaps in Swap), so wear tracking is a per-row
+// tally on that path — fine-grained enough to expose how evenly a
+// migration scheme spreads its writes, coarse enough to stay cheap.
+//
+// Rows, not lines, are the tracked unit: a row is the smallest region the
+// simulator addresses (requests carry bank+row, swaps carry rows), and
+// within a row the bursts of one write or swap stripe across lines
+// uniformly, so per-line wear inside a row is even to first order.
+const (
+	// EnduranceWrites is the write endurance of one 64-B NVM line, in
+	// write bursts. 1e8 is a PCM-class figure (between flash's 1e5 and
+	// DRAM's effectively unbounded endurance).
+	EnduranceWrites = 1e8
+)
+
+// WearStats summarises one channel's M2 write-wear tallies.
+type WearStats struct {
+	// WriteBursts is the total number of 64-B write bursts absorbed by
+	// the channel's M2 module (demand writes plus swap write phases).
+	WriteBursts int64
+	// Rows is the number of M2 rows the channel addresses.
+	Rows int64
+	// WrittenRows is how many of those rows received at least one write.
+	WrittenRows int64
+	// MaxRowWrites is the write-burst count of the most-written row —
+	// the row that dies first, and therefore the one that bounds lifetime.
+	MaxRowWrites int64
+}
+
+// Add folds another channel's tallies into s. Rows and WrittenRows sum
+// (each channel owns a disjoint slice of the address space); MaxRowWrites
+// takes the maximum, since the hottest row anywhere bounds the device.
+func (s *WearStats) Add(o WearStats) {
+	s.WriteBursts += o.WriteBursts
+	s.Rows += o.Rows
+	s.WrittenRows += o.WrittenRows
+	if o.MaxRowWrites > s.MaxRowWrites {
+		s.MaxRowWrites = o.MaxRowWrites
+	}
+}
+
+// wearIndex flattens (bank, row) into the channel's M2 wear array.
+func (ch *Channel) wearIndex(bank int, row int64) int64 {
+	return int64(bank)*ch.cfg.M2Geom.RowsPerBank + row
+}
+
+// noteM2Write tallies n write bursts against one M2 row.
+func (ch *Channel) noteM2Write(bank int, row int64, n int64) {
+	if i := ch.wearIndex(bank, row); i >= 0 && i < int64(len(ch.m2RowWrites)) {
+		ch.m2RowWrites[i] += n
+	}
+}
+
+// WearStats scans the per-row tallies into a summary. Cost is one pass
+// over the row array; call it at end of run, not per event.
+func (ch *Channel) WearStats() WearStats {
+	w := WearStats{Rows: int64(len(ch.m2RowWrites))}
+	for _, n := range ch.m2RowWrites {
+		if n == 0 {
+			continue
+		}
+		w.WrittenRows++
+		w.WriteBursts += n
+		if n > w.MaxRowWrites {
+			w.MaxRowWrites = n
+		}
+	}
+	return w
+}

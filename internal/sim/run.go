@@ -120,6 +120,8 @@ type Result struct {
 	// Resilience tallies fault injection and graceful degradation; zero
 	// for a fault-free run.
 	Resilience stats.Resilience
+	// NVM reports M2 write wear and the lifetime projected from it.
+	NVM NVMWear
 	// Telemetry holds the per-epoch sampler when Config.TelemetryEvery > 0;
 	// nil otherwise. Excluded from the JSON summary — export it separately
 	// via WriteJSONL/WriteCSV.
@@ -436,6 +438,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	rep := s.Cfg.Energy.Evaluate(res.Counts, cycles, s.Cfg.Channels)
 	res.EnergyEff = rep.Efficiency()
 	res.Watts = rep.Watts()
+	res.NVM = nvmWear(s.Ctl.Channels(), cycles)
 
 	res.Telemetry = s.Telemetry
 	res.Resilience = s.Ctl.Resilience

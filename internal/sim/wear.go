@@ -1,0 +1,73 @@
+package sim
+
+import "profess/internal/mem"
+
+// NVMWear summarises M2 write wear for one run and projects device
+// lifetime from it. The channel tallies every M2 write burst per row
+// (demand writes and swap write phases); this aggregates those tallies
+// across channels and converts them to time-to-first-worn-out-line under
+// the simulated write intensity.
+//
+// Two lifetimes are reported. LifetimeIdealSeconds assumes perfect wear
+// leveling: every line in the module absorbs an equal share of the write
+// stream, so the device lives Endurance / (writes-per-line-per-second).
+// LifetimeSeconds is bounded by the hottest row actually observed — no
+// leveling beyond what the migration scheme's own block movement
+// provides. The ratio of the two (LevelingEfficiency) is the figure of
+// merit: 1.0 means the scheme spread writes perfectly, small values mean
+// a few rows are soaking up the write stream and would die early.
+type NVMWear struct {
+	// WriteBursts is the total M2 write bursts (64 B each) across all
+	// channels: demand writes plus swap write phases.
+	WriteBursts int64
+	// Rows and WrittenRows count M2 rows addressable / actually written.
+	Rows        int64
+	WrittenRows int64
+	// MaxRowWrites is the burst count of the most-written row anywhere.
+	MaxRowWrites int64
+	// LevelingEfficiency is mean writes-per-written-row over max
+	// writes-per-row, in (0, 1]; 0 when the run wrote nothing to M2.
+	LevelingEfficiency float64
+	// LifetimeSeconds projects seconds of operation at the simulated
+	// write intensity until the hottest row's lines exhaust their
+	// endurance; 0 when the run wrote nothing to M2 (no wear, so no
+	// meaningful projection — "infinite" is not representable in JSON).
+	LifetimeSeconds float64
+	// LifetimeIdealSeconds is the same projection under perfect wear
+	// leveling across the whole module.
+	LifetimeIdealSeconds float64
+}
+
+// nvmWear aggregates the per-channel wear tallies and projects lifetime.
+// cycles is the run length in CPU cycles.
+func nvmWear(chans []*mem.Channel, cycles int64) NVMWear {
+	var agg mem.WearStats
+	var linesPerRow int64 = 1
+	for _, ch := range chans {
+		agg.Add(ch.WearStats())
+		if lpr := ch.Config().M2Geom.RowBytes / 64; lpr > 0 {
+			linesPerRow = lpr
+		}
+	}
+	w := NVMWear{
+		WriteBursts:  agg.WriteBursts,
+		Rows:         agg.Rows,
+		WrittenRows:  agg.WrittenRows,
+		MaxRowWrites: agg.MaxRowWrites,
+	}
+	if agg.WriteBursts == 0 || agg.MaxRowWrites == 0 || cycles == 0 {
+		return w
+	}
+	w.LevelingEfficiency = float64(agg.WriteBursts) / float64(agg.WrittenRows) / float64(agg.MaxRowWrites)
+
+	// Seconds of simulated time, and the per-line write rates. Within a
+	// row the bursts stripe across its lines evenly (see mem/wear.go), so
+	// the hottest row's per-line rate is MaxRowWrites / linesPerRow.
+	seconds := float64(cycles) / (mem.CyclesPerNs * 1e9)
+	hotLineRate := float64(agg.MaxRowWrites) / float64(linesPerRow) / seconds
+	w.LifetimeSeconds = mem.EnduranceWrites / hotLineRate
+	totalLines := float64(agg.Rows) * float64(linesPerRow)
+	evenLineRate := float64(agg.WriteBursts) / totalLines / seconds
+	w.LifetimeIdealSeconds = mem.EnduranceWrites / evenLineRate
+	return w
+}

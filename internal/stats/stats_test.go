@@ -27,20 +27,38 @@ func TestMean(t *testing.T) {
 }
 
 func TestGeoMean(t *testing.T) {
-	if got := GeoMean([]float64{2, 8}); !almost(got, 4, 1e-12) {
-		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"nil", nil, math.NaN()},
+		{"empty", []float64{}, math.NaN()},
+		{"single", []float64{7.5}, 7.5},
+		{"pair", []float64{2, 8}, 4},
+		{"all equal", []float64{1, 1, 1}, 1},
+		{"all equal non-unit", []float64{0.3, 0.3, 0.3, 0.3}, 0.3},
+		{"negative element", []float64{1, -1}, math.NaN()},
+		{"zero element", []float64{4, 0, 9}, math.NaN()},
+		// The log-sum formulation must survive products that would
+		// overflow or underflow float64 if multiplied directly.
+		{"overflowing product", []float64{1e200, 1e200, 1e200}, 1e200},
+		{"underflowing product", []float64{1e-200, 1e-200, 1e-200}, 1e-200},
+		{"mixed magnitudes", []float64{1e-100, 1e100}, 1},
 	}
-	if got := GeoMean([]float64{1, 1, 1}); !almost(got, 1, 1e-12) {
-		t.Errorf("GeoMean(ones) = %v, want 1", got)
-	}
-	if got := GeoMean(nil); !math.IsNaN(got) {
-		t.Errorf("GeoMean(nil) = %v, want NaN", got)
-	}
-	if got := GeoMean([]float64{}); !math.IsNaN(got) {
-		t.Errorf("GeoMean(empty) = %v, want NaN", got)
-	}
-	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
-		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := GeoMean(c.xs)
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("GeoMean(%v) = %v, want NaN", c.xs, got)
+				}
+				return
+			}
+			if !almost(got/c.want, 1, 1e-12) {
+				t.Errorf("GeoMean(%v) = %v, want %v", c.xs, got, c.want)
+			}
+		})
 	}
 }
 

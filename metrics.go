@@ -42,6 +42,21 @@ func Unfairness(slowdowns []float64) float64 {
 	return m
 }
 
+// WorkBeforeWearOut is the work-normalised endurance figure of merit:
+// lifetime in seconds times aggregate IPC, proportional (at a fixed
+// clock) to the instructions the system retires before the hottest M2
+// row wears out. Comparing schemes on raw Result.NVM.LifetimeSeconds
+// rewards throttling — a scheme that stalls writes "lives longer" while
+// doing less — whereas this quantity only improves when wear per unit of
+// work drops. The analytic tier's lifetime monotonicity tests are stated
+// on it.
+func WorkBeforeWearOut(lifetimeSeconds, ipc float64) float64 {
+	if lifetimeSeconds <= 0 || ipc <= 0 {
+		return 0
+	}
+	return lifetimeSeconds * ipc
+}
+
 // BaselineCache memoises uncontended (stand-alone) IPCs per program for a
 // given system configuration, since every slowdown computation reuses
 // them. It is safe for concurrent use.

@@ -36,6 +36,27 @@ func TestUnfairness(t *testing.T) {
 	}
 }
 
+func TestWorkBeforeWearOut(t *testing.T) {
+	cases := []struct {
+		name          string
+		lifetime, ipc float64
+		want          float64
+	}{
+		{"plain", 1000, 0.5, 500},
+		{"zero lifetime", 0, 1, 0},
+		{"zero ipc", 1000, 0, 0},
+		{"negative ipc", 1000, -1, 0},
+		{"negative lifetime", -5, 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := WorkBeforeWearOut(c.lifetime, c.ipc); got != c.want {
+				t.Errorf("WorkBeforeWearOut(%v, %v) = %v, want %v", c.lifetime, c.ipc, got, c.want)
+			}
+		})
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if Ratio(3, 2) != 1.5 || Ratio(1, 0) != 0 {
 		t.Error("Ratio wrong")

@@ -1,0 +1,196 @@
+package profess
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestPruneSafety is the audit DefaultPruneMargin's doc comment promises.
+// It runs the standard single+multi sweep twice — once pruned, once honest
+// — and checks the three properties the pruning pass rests on:
+//
+//  1. Effectiveness: at the default margin the prune drops at least 25% of
+//     the planned cells, and the executor really does skip them (the
+//     simulation count equals the retained cell count, through rendering).
+//  2. Transparency: every figure value rendered from the pruned sweep is
+//     bit-identical to the honest sweep for retained schemes, and equal to
+//     the representative scheme's honest value for pruned schemes.
+//  3. Honesty of the margin itself: every pruned cell's true cycle-model
+//     IPC delta against its representative is within DefaultPruneMargin —
+//     the analytic screen never merged schemes the cycle model separates
+//     by more than the margin.
+func TestPruneSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps; skipped in -short")
+	}
+	// Pin the disk tier off so the simulation counters below are exact.
+	prevDir := RunCacheDir()
+	if err := SetRunCacheDir(""); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetRunCacheDir(prevDir); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	opts := ExpOptions{Instructions: 400_000}
+	planned := []PlannedExperiment{
+		{Name: "single", Run: func() error { _, err := RunSinglePrograms(Schemes(), opts); return err }},
+		{Name: "multi", Run: func() error { _, err := RunMultiProgram(Schemes(), opts); return err }},
+	}
+	ctx := context.Background()
+
+	// Pruned pass, cold cache.
+	ResetRunCache()
+	plan, err := PlanSweep(planned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(plan.Cells)
+	cellByKey := make(map[string]PlanCell, total)
+	for _, c := range plan.Cells {
+		cellByKey[c.Key] = c
+	}
+
+	pruned := plan.Prune(0)
+	retained := len(plan.Cells)
+	if retained+len(pruned) != total {
+		t.Fatalf("prune accounting: %d retained + %d pruned != %d planned", retained, len(pruned), total)
+	}
+	rate := float64(len(pruned)) / float64(total)
+	t.Logf("plan: %d cells, pruned %d (%.1f%%) at margin %.2f", total, len(pruned), 100*rate, DefaultPruneMargin)
+	if rate < 0.25 {
+		t.Fatalf("prune rate %.1f%% below the 25%% the default margin is sized for", 100*rate)
+	}
+	for _, pc := range pruned {
+		if pc.Delta > DefaultPruneMargin {
+			t.Errorf("pruned cell %s (%s->%s) has analytic delta %.3f > margin", pc.Key[:12], pc.Scheme, pc.RepScheme, pc.Delta)
+		}
+		if _, ok := cellByKey[pc.RepKey]; !ok {
+			t.Errorf("pruned cell %s references unknown representative %s", pc.Key[:12], pc.RepKey[:12])
+		}
+	}
+
+	rep, err := plan.ExecuteOpts(ctx, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("execute: %d cells failed", rep.Failed)
+	}
+	if rep.Pruned != len(pruned) {
+		t.Errorf("ExecReport.Pruned = %d, want %d", rep.Pruned, len(pruned))
+	}
+	if det := RunCacheDetail(); det.Sims != int64(retained) {
+		t.Errorf("execute simulated %d cells, want %d (retained only)", det.Sims, retained)
+	}
+
+	singleB, err := RunSinglePrograms(Schemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiB, err := RunMultiProgram(Schemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det := RunCacheDetail(); det.Sims != int64(retained) {
+		t.Errorf("rendering simulated %d extra cells; pruned cells must be served by aliases", det.Sims-int64(retained))
+	}
+
+	// Honest pass: every cell simulated for real.
+	ResetRunCache()
+	singleA, err := RunSinglePrograms(Schemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiA, err := RunMultiProgram(Schemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det := RunCacheDetail(); det.Sims != int64(total) {
+		t.Errorf("honest pass simulated %d cells, want %d", det.Sims, total)
+	}
+
+	// repOf maps every scheme to the scheme whose result stands in for it
+	// (itself when retained). Prune clusters plan-globally, so the mapping
+	// is consistent across cells.
+	repOf := map[Scheme]Scheme{}
+	for _, s := range Schemes() {
+		repOf[s] = s
+	}
+	for _, pc := range pruned {
+		if r, ok := repOf[pc.Scheme]; ok && r != pc.Scheme && r != pc.RepScheme {
+			t.Fatalf("scheme %s has two representatives: %s and %s", pc.Scheme, r, pc.RepScheme)
+		}
+		repOf[pc.Scheme] = pc.RepScheme
+	}
+
+	// Transparency: pruned-sweep figures equal the honest sweep's, with
+	// pruned schemes reading their representative's honest values.
+	singleRows := map[[2]string]SingleProgramRow{}
+	for _, r := range singleA.Rows {
+		singleRows[[2]string{r.Program, string(r.Scheme)}] = r
+	}
+	for _, b := range singleB.Rows {
+		a, ok := singleRows[[2]string{b.Program, string(repOf[b.Scheme])}]
+		if !ok {
+			t.Fatalf("honest pass missing row %s/%s", b.Program, repOf[b.Scheme])
+		}
+		a.Scheme = b.Scheme // the only field allowed to differ
+		if a != b {
+			t.Errorf("single row %s/%s: pruned sweep %+v != honest %+v", b.Program, b.Scheme, b, a)
+		}
+	}
+	multiCells := map[[2]string]MultiProgramCell{}
+	for _, c := range multiA.Cells {
+		multiCells[[2]string{c.Workload, string(c.Scheme)}] = c
+	}
+	for _, b := range multiB.Cells {
+		a, ok := multiCells[[2]string{b.Workload, string(repOf[b.Scheme])}]
+		if !ok {
+			t.Fatalf("honest pass missing cell %s/%s", b.Workload, repOf[b.Scheme])
+		}
+		a.Scheme = b.Scheme
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("multi cell %s/%s: pruned sweep %+v != honest %+v", b.Workload, b.Scheme, b, a)
+		}
+	}
+
+	// Margin audit against the cycle model, on the honest pass's warm
+	// cache: the true per-program IPC delta between every pruned cell and
+	// its representative must be within the margin the analytic screen
+	// claimed.
+	var worst float64
+	for _, pc := range pruned {
+		c, r := cellByKey[pc.Key], cellByKey[pc.RepKey]
+		resC, err := runSimCtx(ctx, c.Cfg, c.Specs, c.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resR, err := runSimCtx(ctx, r.Cfg, r.Specs, r.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resC.PerCore) != len(resR.PerCore) {
+			t.Fatalf("cell %s and rep %s disagree on core count", pc.Key[:12], pc.RepKey[:12])
+		}
+		for k := range resC.PerCore {
+			hi := math.Max(resC.PerCore[k].IPC, resR.PerCore[k].IPC)
+			if hi <= 0 {
+				continue
+			}
+			d := math.Abs(resC.PerCore[k].IPC-resR.PerCore[k].IPC) / hi
+			if d > worst {
+				worst = d
+			}
+			if d > DefaultPruneMargin {
+				t.Errorf("pruned %s->%s core %d: true IPC delta %.1f%% exceeds margin %.0f%%",
+					pc.Scheme, pc.RepScheme, k, 100*d, 100*DefaultPruneMargin)
+			}
+		}
+	}
+	t.Logf("worst true IPC delta across %d pruned cells: %.1f%% (margin %.0f%%)", len(pruned), 100*worst, 100*DefaultPruneMargin)
+}

@@ -151,3 +151,78 @@ func TestRunCacheBypassesTelemetry(t *testing.T) {
 		t.Errorf("telemetry runs recorded %d cache hits, want 0", hits)
 	}
 }
+
+// TestRunCacheCountersTable pins the pure accounting helpers: HitRate's
+// zero-total guard and division, and Sub's per-tier deltas (including
+// negative ones, which callers rely on never being clamped).
+func TestRunCacheCountersTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		c       RunCacheCounters
+		hitRate float64
+	}{
+		{"zero", RunCacheCounters{}, 0},
+		{"all sims", RunCacheCounters{Sims: 7}, 0},
+		{"all mem", RunCacheCounters{MemHits: 4}, 1},
+		{"all disk", RunCacheCounters{DiskHits: 9}, 1},
+		{"mixed", RunCacheCounters{MemHits: 2, DiskHits: 1, Sims: 1}, 0.75},
+		{"mostly sims", RunCacheCounters{MemHits: 1, Sims: 3}, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.HitRate(); got != tc.hitRate {
+				t.Errorf("HitRate(%+v) = %v, want %v", tc.c, got, tc.hitRate)
+			}
+		})
+	}
+
+	subCases := []struct {
+		name         string
+		now, earlier RunCacheCounters
+		want         RunCacheCounters
+	}{
+		{"zero minus zero", RunCacheCounters{}, RunCacheCounters{}, RunCacheCounters{}},
+		{"plain delta",
+			RunCacheCounters{MemHits: 5, DiskHits: 3, Sims: 9},
+			RunCacheCounters{MemHits: 2, DiskHits: 3, Sims: 4},
+			RunCacheCounters{MemHits: 3, DiskHits: 0, Sims: 5}},
+		{"negative after reset",
+			RunCacheCounters{Sims: 1},
+			RunCacheCounters{MemHits: 2, Sims: 4},
+			RunCacheCounters{MemHits: -2, Sims: -3}},
+	}
+	for _, tc := range subCases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.now.Sub(tc.earlier); got != tc.want {
+				t.Errorf("%+v.Sub(%+v) = %+v, want %+v", tc.now, tc.earlier, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunCacheDetailTiers checks the per-tier attribution RunCacheDetail
+// reports: a cold run is a sim, a repeat is a memory hit, and the
+// aggregate RunCacheStats view stays consistent with the detail.
+func TestRunCacheDetailTiers(t *testing.T) {
+	ResetRunCache()
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 50_000
+	if _, err := RunProgram("mcf", SchemePoM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if d := RunCacheDetail(); d != (RunCacheCounters{Sims: 1}) {
+		t.Fatalf("cold run: %+v, want exactly one sim", d)
+	}
+	before := RunCacheDetail()
+	if _, err := RunProgram("mcf", SchemePoM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if d := RunCacheDetail().Sub(before); d != (RunCacheCounters{MemHits: 1}) {
+		t.Fatalf("warm run delta: %+v, want exactly one mem hit", d)
+	}
+	hits, misses := RunCacheStats()
+	d := RunCacheDetail()
+	if hits != d.MemHits+d.DiskHits || misses != d.Sims {
+		t.Errorf("RunCacheStats (%d, %d) inconsistent with detail %+v", hits, misses, d)
+	}
+}

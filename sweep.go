@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"profess/internal/analytic"
 	"profess/internal/lease"
 )
 
@@ -35,6 +37,11 @@ import (
 // a stub Result instead of simulating, so the exact production control
 // flow — seed replicas, footprint filters, shared baselines — decides the
 // cell set and the plan can never drift from the drivers.
+//
+// An optional pruning pass (SweepPlan.Prune) sits between planning and
+// execution: cells whose scheme the analytic fast tier cannot distinguish
+// from a representative anywhere in the plan are dropped, and the
+// executor serves them by aliasing the representative's result.
 
 // ErrNotPlannable marks an experiment that cannot be enumerated by a dry
 // run because it simulates outside the run-cache funnel (custom policies,
@@ -71,6 +78,9 @@ type SweepPlan struct {
 	// Unplannable lists experiments that returned ErrNotPlannable; they
 	// simulate when rendered instead.
 	Unplannable []string
+	// Pruned lists cells removed by Prune; ExecuteOpts serves each one by
+	// aliasing its representative's result.
+	Pruned []PrunedCell
 }
 
 // PlannedExperiment names one experiment and the driver invocation that
@@ -237,6 +247,209 @@ func (p *SweepPlan) Hash() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// DefaultPruneMargin is the analytic indistinguishability margin for
+// SweepPlan.Prune. Its value sits in the empirically measured gap between
+// the scheme families the cycle model treats identically (analytic
+// distance 0 under the tied default calibration, true IPC deltas ≤ ~6%)
+// and the closest genuinely different pair (analytic distance ≥ ~29%
+// somewhere in a standard plan, true deltas up to ~50%); see
+// prune_test.go for the audit that keeps it honest.
+const DefaultPruneMargin = 0.10
+
+// PrunedCell records one cell Prune removed from the plan.
+type PrunedCell struct {
+	// Key is the pruned cell's run-cache key; RepKey the representative
+	// cell whose result will stand in for it.
+	Key    string
+	RepKey string
+	// Scheme and RepScheme name the merged pair.
+	Scheme    Scheme
+	RepScheme Scheme
+	// Delta is the analytic distance between the pruned cell and its
+	// representative: the max over the cell's programs of the relative
+	// IPC difference and the absolute M1-served-fraction difference.
+	Delta float64
+	// Experiments lists the plan requests that needed this cell.
+	Experiments []string
+}
+
+// cellEstimate is one cell's analytic screen used by Prune.
+type cellEstimate struct {
+	cell *PlanCell
+	ipc  []float64
+	m1   []float64
+}
+
+// dist is the analytic distance between two cells of one group (same
+// config and specs, different scheme): the max over programs of relative
+// IPC difference and absolute M1-fraction difference.
+func (a *cellEstimate) dist(b *cellEstimate) float64 {
+	var d float64
+	for k := range a.ipc {
+		hi := math.Max(a.ipc[k], b.ipc[k])
+		if hi > 0 {
+			if r := math.Abs(a.ipc[k]-b.ipc[k]) / hi; r > d {
+				d = r
+			}
+		}
+		if m := math.Abs(a.m1[k] - b.m1[k]); m > d {
+			d = m
+		}
+	}
+	return d
+}
+
+// Prune drops cells whose scheme the analytic fast tier
+// (internal/analytic) cannot distinguish from a cheaper-to-share
+// representative, so the executor simulates one cell per equivalence
+// class and serves the others by aliasing the representative's result
+// (see ExecuteOpts). A margin ≤ 0 means DefaultPruneMargin.
+//
+// The screen is deliberately conservative: two schemes merge only when
+// their analytic predictions (per-program IPC and M1-served fraction)
+// agree within the margin on EVERY planned cell where both appear — a
+// plan-global criterion. Cell-local agreement proves nothing: the
+// analytic tier's error (see testdata/xval_envelope.json) is far larger
+// than real scheme gaps, so two genuinely different schemes routinely
+// coincide on individual cells while diverging elsewhere in the plan.
+// Only schemes whose predicted behaviour is identical everywhere — under
+// the default calibration, the deliberately tied mdm/profess and
+// cameo/silc-fm families — survive the global test.
+//
+// Fault-injecting cells are never pruned (the analytic tier does not
+// model faults), and cells the estimator refuses stay unpruned. Call
+// Prune after PlanSweep and before ExecuteOpts; the pruned plan hashes
+// (and therefore journals) differently from the full plan, so resumed
+// sweeps never mix the two cell sets.
+func (p *SweepPlan) Prune(margin float64) []PrunedCell {
+	if margin <= 0 {
+		margin = DefaultPruneMargin
+	}
+	model := analytic.Default()
+
+	// Screen every cell; group the screenable ones by their
+	// scheme-independent key.
+	groups := map[string][]*cellEstimate{}
+	for i := range p.Cells {
+		c := &p.Cells[i]
+		if c.Cfg.Faults.Enabled() {
+			continue
+		}
+		est, err := model.Estimate(c.Cfg, c.Specs, c.Scheme)
+		if err != nil {
+			continue
+		}
+		ce := &cellEstimate{cell: c}
+		for _, pe := range est.Programs {
+			ce.ipc = append(ce.ipc, pe.IPC)
+			ce.m1 = append(ce.m1, pe.M1Fraction)
+		}
+		gk := runKey(c.Cfg, c.Specs, Scheme(""))
+		groups[gk] = append(groups[gk], ce)
+	}
+
+	// Plan-global pair distances: the worst analytic disagreement between
+	// two schemes across every group where both appear.
+	pairKey := func(a, b Scheme) [2]Scheme {
+		if b < a {
+			a, b = b, a
+		}
+		return [2]Scheme{a, b}
+	}
+	pairDist := map[[2]Scheme]float64{}
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				k := pairKey(g[i].cell.Scheme, g[j].cell.Scheme)
+				d := g[i].dist(g[j])
+				if cur, ok := pairDist[k]; !ok || d > cur {
+					pairDist[k] = d
+				}
+			}
+		}
+	}
+
+	// Cluster schemes in presentation order: a scheme joins the first
+	// representative it is plan-globally indistinguishable from, so the
+	// chosen representatives are deterministic.
+	present := map[Scheme]bool{}
+	for _, g := range groups {
+		for _, ce := range g {
+			present[ce.cell.Scheme] = true
+		}
+	}
+	var order []Scheme
+	for _, s := range Schemes() {
+		if present[s] {
+			order = append(order, s)
+			delete(present, s)
+		}
+	}
+	var extra []Scheme
+	for s := range present {
+		extra = append(extra, s)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	order = append(order, extra...)
+
+	repOf := map[Scheme]Scheme{}
+	var reps []Scheme
+	for _, s := range order {
+		repOf[s] = s
+		for _, r := range reps {
+			if d, ok := pairDist[pairKey(r, s)]; ok && d <= margin {
+				repOf[s] = r
+				break
+			}
+		}
+		if repOf[s] == s {
+			reps = append(reps, s)
+		}
+	}
+
+	// Drop every cell whose representative scheme has a cell in the same
+	// group to stand in for it.
+	var pruned []PrunedCell
+	drop := map[string]bool{}
+	for _, g := range groups {
+		byScheme := map[Scheme]*cellEstimate{}
+		for _, ce := range g {
+			byScheme[ce.cell.Scheme] = ce
+		}
+		for _, ce := range g {
+			r := repOf[ce.cell.Scheme]
+			if r == ce.cell.Scheme {
+				continue
+			}
+			re, ok := byScheme[r]
+			if !ok {
+				continue
+			}
+			pruned = append(pruned, PrunedCell{
+				Key:         ce.cell.Key,
+				RepKey:      re.cell.Key,
+				Scheme:      ce.cell.Scheme,
+				RepScheme:   r,
+				Delta:       ce.dist(re),
+				Experiments: ce.cell.Experiments,
+			})
+			drop[ce.cell.Key] = true
+		}
+	}
+	if len(drop) > 0 {
+		kept := p.Cells[:0]
+		for _, c := range p.Cells {
+			if !drop[c.Key] {
+				kept = append(kept, c)
+			}
+		}
+		p.Cells = kept
+	}
+	sort.Slice(pruned, func(i, j int) bool { return pruned[i].Key < pruned[j].Key })
+	p.Pruned = append(p.Pruned, pruned...)
+	return pruned
+}
+
 // ExecOptions tunes SweepPlan.ExecuteOpts. The zero value gives a
 // GOMAXPROCS pool with the durability defaults below.
 type ExecOptions struct {
@@ -307,6 +520,9 @@ type ExecReport struct {
 	Retries int
 	// Failed counts cells that exhausted their attempts.
 	Failed int
+	// Pruned counts cells served by aliasing their representative's
+	// result instead of simulating (see SweepPlan.Prune).
+	Pruned int
 	// JournalPath is the shared journal file ("" when executing without
 	// a persistent cache directory).
 	JournalPath string
@@ -675,6 +891,40 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 		}()
 	}
 	wg.Wait()
+
+	// Serve pruned cells: alias each to its representative's completed
+	// result in the in-process cache tier, so the render phase reads the
+	// representative's figures under the pruned key without simulating.
+	// When the representative did not complete (failure, cancellation)
+	// the alias is skipped and the render phase simulates the pruned
+	// cell for real — slower, but never wrong.
+	if len(p.Pruned) > 0 && ctx.Err() == nil {
+		byKey := make(map[string]*PlanCell, len(p.Cells))
+		for i := range p.Cells {
+			byKey[p.Cells[i].Key] = &p.Cells[i]
+		}
+		for _, pr := range p.Pruned {
+			repCell := byKey[pr.RepKey]
+			if repCell == nil {
+				continue
+			}
+			st.mu.Lock()
+			i, ok := st.byKey[pr.RepKey]
+			repDone := ok && st.status[i] == cellDone
+			st.mu.Unlock()
+			if !repDone {
+				continue
+			}
+			res, err := runSimCtx(ctx, repCell.Cfg, repCell.Specs, repCell.Scheme)
+			if err != nil {
+				continue // the representative's own failure surfaces below
+			}
+			theRunCache.installAlias(pr.Key, res)
+			st.mu.Lock()
+			st.rep.Pruned++
+			st.mu.Unlock()
+		}
+	}
 
 	st.mu.Lock()
 	rep := st.rep

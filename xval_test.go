@@ -1,0 +1,160 @@
+package profess
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateEnvelope = flag.Bool("update", false, "rewrite testdata/xval_envelope.json from current behaviour")
+
+// xvalEnvelope is the committed contract between the analytic fast tier
+// and the cycle model: per-cell bounds on how far the two may disagree,
+// plus matrix-wide summary bounds. Regenerate with
+//
+//	go test -run TestXValEnvelope -update .
+//
+// after a deliberate model change, and review the diff — a loosening
+// envelope means the fast tier is drifting away from the ground truth.
+type xvalEnvelope struct {
+	// Instructions pins the run length the envelope was measured at.
+	Instructions int64 `json:"instructions"`
+	// MeanAbsIPCErrorLimit / MaxAbsIPCErrorLimit bound the summary stats.
+	MeanAbsIPCErrorLimit float64            `json:"mean_abs_ipc_error_limit"`
+	MaxAbsIPCErrorLimit  float64            `json:"max_abs_ipc_error_limit"`
+	MeanM1FracErrorLimit float64            `json:"mean_m1_frac_error_limit"`
+	Cells                []xvalEnvelopeCell `json:"cells"`
+}
+
+type xvalEnvelopeCell struct {
+	Program string `json:"program"`
+	Scheme  string `json:"scheme"`
+	// IPCErrorLimit bounds |analytic-cycle|/cycle for this cell.
+	IPCErrorLimit float64 `json:"ipc_error_limit"`
+	// M1FracErrorLimit bounds |analytic-cycle| M1-served fraction.
+	M1FracErrorLimit float64 `json:"m1_frac_error_limit"`
+}
+
+const xvalEnvelopePath = "testdata/xval_envelope.json"
+
+// TestXValEnvelope cross-validates the analytic tier against the cycle
+// model on all ten Table 9 generators under every scheme and enforces
+// the committed error envelope cell by cell.
+func TestXValEnvelope(t *testing.T) {
+	env := xvalEnvelope{Instructions: 2_000_000}
+	if !*updateEnvelope {
+		raw, err := os.ReadFile(xvalEnvelopePath)
+		if err != nil {
+			t.Fatalf("read envelope (run with -update to create): %v", err)
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("parse envelope: %v", err)
+		}
+	}
+
+	rep, err := RunCrossValidation(Schemes(), ExpOptions{Instructions: env.Instructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateEnvelope {
+		// Headroom over the observed error keeps the gate from flaking on
+		// incidental cycle-model tweaks while still catching real drift.
+		env.MeanAbsIPCErrorLimit = round4(rep.MeanAbsIPCError*1.25 + 0.02)
+		env.MaxAbsIPCErrorLimit = round4(rep.MaxAbsIPCError*1.25 + 0.05)
+		env.MeanM1FracErrorLimit = round4(rep.MeanAbsM1FracError*1.25 + 0.02)
+		env.Cells = env.Cells[:0]
+		for _, row := range rep.Rows {
+			env.Cells = append(env.Cells, xvalEnvelopeCell{
+				Program:          row.Program,
+				Scheme:           string(row.Scheme),
+				IPCErrorLimit:    round4(math.Abs(row.IPCError)*1.3 + 0.03),
+				M1FracErrorLimit: round4(row.M1FracError*1.3 + 0.03),
+			})
+		}
+		raw, err := json.MarshalIndent(env, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(xvalEnvelopePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(xvalEnvelopePath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: mean |e|=%.1f%% max |e|=%.1f%%",
+			xvalEnvelopePath, 100*rep.MeanAbsIPCError, 100*rep.MaxAbsIPCError)
+		return
+	}
+
+	limits := make(map[string]xvalEnvelopeCell, len(env.Cells))
+	for _, c := range env.Cells {
+		limits[c.Program+"/"+c.Scheme] = c
+	}
+	for _, row := range rep.Rows {
+		key := row.Program + "/" + string(row.Scheme)
+		lim, ok := limits[key]
+		if !ok {
+			t.Errorf("%s: no committed envelope cell (regenerate with -update)", key)
+			continue
+		}
+		if e := math.Abs(row.IPCError); e > lim.IPCErrorLimit {
+			t.Errorf("%s: analytic IPC error %.1f%% exceeds committed limit %.1f%% (cycle %.3f analytic %.3f)",
+				key, 100*e, 100*lim.IPCErrorLimit, row.CycleIPC, row.AnalyticIPC)
+		}
+		if row.M1FracError > lim.M1FracErrorLimit {
+			t.Errorf("%s: M1-fraction error %.3f exceeds committed limit %.3f",
+				key, row.M1FracError, lim.M1FracErrorLimit)
+		}
+	}
+	if len(rep.Rows) != len(env.Cells) {
+		t.Errorf("matrix has %d cells, envelope commits %d (regenerate with -update)", len(rep.Rows), len(env.Cells))
+	}
+	if rep.MeanAbsIPCError > env.MeanAbsIPCErrorLimit {
+		t.Errorf("mean |IPC error| %.1f%% exceeds committed %.1f%%", 100*rep.MeanAbsIPCError, 100*env.MeanAbsIPCErrorLimit)
+	}
+	if rep.MaxAbsIPCError > env.MaxAbsIPCErrorLimit {
+		t.Errorf("max |IPC error| %.1f%% exceeds committed %.1f%%", 100*rep.MaxAbsIPCError, 100*env.MaxAbsIPCErrorLimit)
+	}
+	if rep.MeanAbsM1FracError > env.MeanM1FracErrorLimit {
+		t.Errorf("mean M1-fraction error %.3f exceeds committed %.3f", rep.MeanAbsM1FracError, env.MeanM1FracErrorLimit)
+	}
+}
+
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}
+
+// TestXValReportRendering exercises the human-readable table and the
+// scatter CSV on a tiny matrix so the -exp xval driver's outputs stay
+// well-formed.
+func TestXValReportRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := RunCrossValidation([]Scheme{SchemeStatic, SchemeProFess},
+		ExpOptions{Instructions: 200_000, Programs: []string{"mcf", "libquantum"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	s := rep.String()
+	for _, want := range []string{"mcf", "libquantum", "profess", "IPC error"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "cycle_ipc") || !strings.Contains(csv, "analytic_lifetime_s") {
+		t.Errorf("CSV() missing headers:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 5 {
+		t.Errorf("CSV() has %d lines, want 5 (header + 4 rows)", lines)
+	}
+}
