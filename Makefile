@@ -10,7 +10,7 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke shard-smoke shard-bench quick cover fuzz-smoke
 
 # Minimum statement coverage (percent) for internal/analytic, enforced by
 # `make xval-smoke`: the closed-form tier is only trustworthy while its
@@ -121,6 +121,35 @@ chaos-smoke:
 		echo "leaked lease/temp files:"; \
 		find bin/chaoscache \( -name '*.lease' -o -name '*.lease.reap-*' -o -name '.tmp-*' \); exit 1; fi; \
 	echo "chaos smoke: no leaked lease or temp files"
+
+# shard-smoke is the CI guard for the sharded event engine. Under the
+# race detector it runs the epoch-barrier engine tests, the fixed-seed
+# shard-count sweep (byte-identical Result JSON and telemetry for shards
+# 1/2/4/8) and the run-cache shard invariance; then a real professim
+# scale16 run at 1 and 8 shards (cache off, so both simulate) must print
+# byte-identical JSON. The zero-allocation overflow-migration guard rides
+# along without -race (the race runtime allocates on its own).
+shard-smoke:
+	$(GO) test -race -count=1 -run 'TestShardGroup|TestZeroAllocMigrationDrain' ./internal/event
+	$(GO) test -race -count=1 -timeout 30m \
+		-run 'TestShardCountSweepByteIdentical|TestClusteredResultShape|TestClusterSliceDerivation' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestRunCacheShardInvariant' .
+	$(GO) test -count=1 -run 'TestZeroAlloc' ./internal/event
+	$(GO) build -o bin/professim ./cmd/professim
+	bin/professim -preset scale16 -instr 50000 -shards 1 -nocache -json > bin/shard1.json
+	bin/professim -preset scale16 -instr 50000 -shards 8 -nocache -json > bin/shard8.json
+	cmp bin/shard1.json bin/shard8.json
+	@echo "shard smoke: 1-shard and 8-shard scale16 runs byte-identical"
+
+# shard-bench records the scale16 shard-scaling curve (wall time, speedup
+# over shards=1, gomaxprocs) into $(BENCH_FILE) — committed for PR8 as
+# BENCH_PR8.json. Speedup is bounded by the host's GOMAXPROCS; see the
+# README's Performance section before reading anything into a 1-CPU run.
+SHARD_BENCHTIME ?= 3x
+shard-bench:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -bench=BenchmarkScale16Shards -benchtime=$(SHARD_BENCHTIME) -run='^$$' | \
+		bin/benchjson -label $(BENCH_LABEL) -o $(BENCH_FILE)
 
 # xval-smoke is the CI guard for the analytic fast tier: the committed
 # cross-validation error envelope and the sweep-pruning safety audit

@@ -180,6 +180,9 @@ func parse(r io.Reader) (Run, error) {
 // simulation counts are shown alongside so a cold-vs-warm pair reads as
 // both a speedup and a count of simulations avoided.
 func summarise(w io.Writer, traj Trajectory) {
+	if len(traj.Runs) > 0 {
+		shardCurve(w, traj.Runs[len(traj.Runs)-1])
+	}
 	if len(traj.Runs) < 2 {
 		return
 	}
@@ -216,5 +219,40 @@ func summarise(w io.Writer, traj Trajectory) {
 		if v, ok := rate.Metrics["hit-rate-%"]; ok {
 			fmt.Fprintf(w, "%s run-cache hit rate: %.1f%%\n", last.Label, v)
 		}
+	}
+}
+
+// shardCurve prints the shard-scaling table for benchmarks that report
+// "shards" and "speedup" metrics (BenchmarkScale16Shards): worker count,
+// per-run wall time and the self-reported speedup over the run's own
+// shards=1 baseline — the intra-run scaling curve, as opposed to the
+// cross-run speedups of the main summary.
+func shardCurve(w io.Writer, run Run) {
+	var names []string
+	for name, r := range run.Benchmarks {
+		if r.Metrics["shards"] > 0 && r.Metrics["speedup"] > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := run.Benchmarks[names[i]], run.Benchmarks[names[j]]
+		if a.Metrics["shards"] != b.Metrics["shards"] {
+			return a.Metrics["shards"] < b.Metrics["shards"]
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "%s shard scaling:\n%-42s %8s %12s %8s %10s\n",
+		run.Label, "benchmark", "shards", "ns/op", "speedup", "gomaxprocs")
+	for _, name := range names {
+		r := run.Benchmarks[name]
+		maxprocs := "-"
+		if v, ok := r.Metrics["gomaxprocs"]; ok {
+			maxprocs = strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		fmt.Fprintf(w, "%-42s %8.0f %12.0f %7.2fx %10s\n",
+			name, r.Metrics["shards"], r.NsPerOp, r.Metrics["speedup"], maxprocs)
 	}
 }

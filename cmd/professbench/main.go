@@ -122,6 +122,11 @@ func experiments() []experiment {
 		{"xval", "analytic fast tier vs cycle model: IPC/M1/lifetime cross-validation", true, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunCrossValidation(profess.Schemes(), opts)
 		}},
+		// scale16 times real runs (and re-verifies shard determinism), so
+		// it must not be served from the cache: unplannable by design.
+		{"scale16", "shard scaling curve on the 16-program fleet (timing-honest; ignores -shards and sweeps 1,2,4,8)", false, func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			return profess.RunScale16(profess.SchemeProFess, nil, opts)
+		}},
 	}
 }
 
@@ -157,6 +162,7 @@ func main() {
 		wls      = flag.String("workloads", "", "restrict workloads (comma separated)")
 		progs    = flag.String("programs", "", "restrict programs (comma separated)")
 		par      = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "worker goroutines per clustered simulation (pure speed knob: results and cache keys are identical at any value)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of tables where supported")
 		debug    = flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while experiments run")
 		list     = flag.Bool("list", false, "list experiments and exit")
@@ -213,6 +219,7 @@ func main() {
 		Scale:        *scale,
 		Instructions: *instr,
 		Parallelism:  *par,
+		Shards:       *shards,
 		Context:      ctx,
 	}
 	if *wls != "" {

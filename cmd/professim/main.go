@@ -9,6 +9,7 @@
 //	professim -workload w09 -schemes pom,mdm,profess
 //	professim -workload w09 -scheme profess -faults rate=1e-4,seed=7
 //	professim -program mcf -scheme profess -telemetry mcf.jsonl -epoch 25000
+//	professim -preset scale16 -shards 8 -instr 1000000
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 		ratio    = flag.Int("ratio", 0, "override M1:M2 ratio (e.g. 4 for 1:4)")
 		twr      = flag.Float64("twr", 1, "M2 write-recovery latency factor")
 		baseline = flag.Bool("baselines", true, "for workloads: run stand-alone baselines and report slowdowns")
+		preset   = flag.String("preset", "", "run a named preset fleet instead of -program/-workload (scale16: sixteen programs on eight clusters)")
+		shards   = flag.Int("shards", 0, "worker goroutines for clustered presets (0 or 1 = single-threaded verification mode; pure speed knob, results are byte-identical at any value)")
 		threads  = flag.Int("threads", 1, "for -program: run it multi-threaded (§3.1.1)")
 		faults   = flag.String("faults", "", "fault-injection plan: key=value,... (seed, nvmread, nvmwrite, stall, stallcycles, qac, sf) or the shorthand rate=<p>")
 		telePath = flag.String("telemetry", "", "export per-epoch telemetry to this file (.csv for CSV, JSONL otherwise; a .manifest.json rides along)")
@@ -68,8 +71,12 @@ func main() {
 		printCatalog()
 		return
 	}
-	if (*program == "") == (*mix == "") {
-		fmt.Fprintln(os.Stderr, "professim: exactly one of -program or -workload is required (see -list)")
+	if *preset == "" && (*program == "") == (*mix == "") {
+		fmt.Fprintln(os.Stderr, "professim: exactly one of -program, -workload or -preset is required (see -list)")
+		os.Exit(2)
+	}
+	if *preset != "" && (*program != "" || *mix != "") {
+		fmt.Fprintln(os.Stderr, "professim: -preset excludes -program and -workload")
 		os.Exit(2)
 	}
 
@@ -82,6 +89,27 @@ func main() {
 		schemeList = []profess.Scheme{profess.Scheme(*scheme)}
 	}
 
+	plan, err := profess.ParseFaultPlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *preset != "" {
+		if *preset != "scale16" {
+			fatal(fmt.Errorf("unknown preset %q (available: scale16)", *preset))
+		}
+		cfg := profess.Scale16Config(*scale)
+		cfg.Instructions = *instr
+		cfg.Shards = *shards
+		cfg.M2TWRFactor = *twr
+		cfg.Faults = plan
+		if *telePath != "" {
+			cfg.TelemetryEvery = *epoch
+		}
+		runScale16Preset(schemeList, cfg, *jsonOut, *telePath)
+		return
+	}
+
 	var cfg profess.Config
 	if *program != "" && *threads <= 1 {
 		cfg = profess.SingleCoreConfig(*scale)
@@ -92,12 +120,9 @@ func main() {
 	}
 	cfg.Instructions = *instr
 	cfg.M2TWRFactor = *twr
+	cfg.Shards = *shards
 	if *ratio > 0 {
 		cfg = cfg.WithM1Ratio(*ratio)
-	}
-	plan, err := profess.ParseFaultPlan(*faults)
-	if err != nil {
-		fatal(err)
 	}
 	cfg.Faults = plan
 	if *telePath != "" {
@@ -206,6 +231,46 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 				printResilience(string(s), res)
 			}
 		}
+	}
+}
+
+// runScale16Preset runs the sixteen-program Fleet16 on the clustered
+// Scale16 system under each scheme. Shards only changes wall-clock time;
+// the printed figures are byte-identical at every worker count.
+func runScale16Preset(schemes []profess.Scheme, cfg profess.Config, jsonOut bool, telePath string) {
+	specs, err := profess.Fleet16Specs(cfg.Scale)
+	if err != nil {
+		fatal(err)
+	}
+	if !jsonOut {
+		fmt.Printf("preset scale16 (%d programs, %d clusters, %d shard worker(s), %d instructions per program, scale %.4f)\n\n",
+			len(specs), cfg.Clusters, max(cfg.Shards, 1), cfg.Instructions, cfg.Scale)
+	}
+	for _, s := range schemes {
+		res, err := profess.RunSpecsContext(runCtx, specs, s, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exportTelemetry(telemetryPath(telePath, s, len(schemes) > 1), s, res, cfg)
+		if jsonOut {
+			out, err := profess.ResultJSON(res)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
+			continue
+		}
+		t := stats.NewTable("program", "IPC", "M1 frac", "STC hit", "swaps")
+		for _, c := range res.PerCore {
+			t.AddRowf(c.Program, c.IPC, c.M1Fraction, c.STCHitRate, c.Swaps)
+		}
+		fmt.Printf("scheme %s: cycles=%d swapFrac=%.4f stcHit=%.3f energyEff=%.3g\n%s\n",
+			s, res.Cycles, res.SwapFraction, res.STCHitRate, res.EnergyEff, t.String())
+		if len(res.ClusterDone) > 0 {
+			fmt.Printf("cluster completion cycles: %v\n", res.ClusterDone)
+		}
+		printNVMWear(string(s), res)
+		printResilience(string(s), res)
 	}
 }
 

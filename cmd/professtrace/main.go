@@ -35,6 +35,7 @@ func main() {
 		scale  = flag.Float64("scale", profess.PaperScale, "capacity scale")
 		tele   = flag.String("telemetry", "", "for -replay: export per-epoch telemetry to this file (.csv for CSV, JSONL otherwise; a .manifest.json rides along)")
 		epoch  = flag.Int64("epoch", 10_000, "telemetry epoch length in CPU cycles (with -telemetry)")
+		shards = flag.Int("shards", 0, "for -replay: worker goroutines on clustered configs (inert on the single-core replay system; kept for flag parity)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 	case *stats != "":
 		doStats(*stats)
 	case *replay != "":
-		doReplay(*replay, *scheme, *instr, *scale, *tele, *epoch)
+		doReplay(*replay, *scheme, *instr, *scale, *tele, *epoch, *shards)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -106,10 +107,11 @@ func doStats(path string) {
 	fmt.Printf("  2-KB blocks touched  %d (max refs to one block: %d)\n", len(blocks), maxReuse)
 }
 
-func doReplay(path, scheme string, instr int64, scale float64, tele string, epoch int64) {
+func doReplay(path, scheme string, instr int64, scale float64, tele string, epoch int64, shards int) {
 	rp := load(path)
 	cfg := profess.SingleCoreConfig(scale)
 	cfg.Instructions = instr
+	cfg.Shards = shards
 	if tele != "" {
 		cfg.TelemetryEvery = epoch
 	}

@@ -119,3 +119,32 @@ func BenchmarkQueue_Closure(b *testing.B) {
 		q.Step()
 	}
 }
+
+// TestZeroAllocMigrationDrain guards the batched overflow→wheel migration
+// against the alloc churn it replaced: when a batch of far-future events
+// (refresh windows, telemetry epochs of a large config) comes due on the
+// same cycle, the drain must reuse the staging slice and the destination
+// bucket's backing array instead of growing the bucket append by append.
+func TestZeroAllocMigrationDrain(t *testing.T) {
+	q := &Queue{}
+	h := &countingHandler{}
+	const batch = 512
+	drain := func() {
+		// Align the batch to a wheel-size boundary so every iteration
+		// lands on the same destination bucket and its warmed capacity.
+		base := (q.Now()/wheelSize + 2) * wheelSize
+		for i := 0; i < batch; i++ {
+			q.Schedule(base, h, int64(i), nil)
+		}
+		for i := 0; i < batch; i++ {
+			if !q.Step() {
+				t.Fatal("queue drained early")
+			}
+		}
+	}
+	drain() // warm: grow the heap, the staging slice, and the bucket
+	allocs := testing.AllocsPerRun(100, drain)
+	if allocs != 0 {
+		t.Fatalf("migration drain of %d far-future events: %v allocs per drain, want 0", batch, allocs)
+	}
+}

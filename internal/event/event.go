@@ -32,7 +32,10 @@
 // is exactly the order a single sorted calendar would produce.
 package event
 
-import "math/bits"
+import (
+	"math/bits"
+	"slices"
+)
 
 const (
 	// wheelBits sizes the near-future horizon: events scheduled fewer
@@ -94,6 +97,7 @@ type Queue struct {
 	occ      []uint64 // occupancy bitmap over buckets
 	wheelN   int      // events currently in the wheel
 	overflow []timed  // min-heap on (at, seq) for beyond-horizon events
+	scratch  []timed  // reusable staging area for overflow→wheel migration
 }
 
 // Now returns the current simulation time in cycles.
@@ -164,34 +168,6 @@ func (q *Queue) pushOverflow(ev timed) {
 	q.overflow = h
 }
 
-// popOverflow removes and returns the heap minimum.
-func (q *Queue) popOverflow() timed {
-	h := q.overflow
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = timed{} // release payload references
-	h = h[:last]
-	q.overflow = h
-	j := 0
-	for {
-		l := 2*j + 1
-		if l >= last {
-			break
-		}
-		m := l
-		if r := l + 1; r < last && less(&h[r], &h[l]) {
-			m = r
-		}
-		if !less(&h[m], &h[j]) {
-			break
-		}
-		h[j], h[m] = h[m], h[j]
-		j = m
-	}
-	return top
-}
-
 // less orders events by (time, insertion order).
 func less(a, b *timed) bool {
 	if a.at != b.at {
@@ -200,13 +176,100 @@ func less(a, b *timed) bool {
 	return a.seq < b.seq
 }
 
+// siftDown restores the heap property below j. n is the heap length.
+func siftDown(h []timed, j, n int) {
+	for {
+		l := 2*j + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && less(&h[r], &h[l]) {
+			m = r
+		}
+		if !less(&h[m], &h[j]) {
+			return
+		}
+		h[j], h[m] = h[m], h[j]
+		j = m
+	}
+}
+
 // migrate pulls every overflow event that the advancing clock brought
 // inside the wheel horizon into its bucket, in (at, seq) order.
+//
+// Migration is batched: due events are partitioned out of the heap into a
+// reusable staging slice, sorted once, and copied into their buckets with
+// the capacity for each bucket reserved exactly, in one grow. The naive
+// pop-and-push loop reallocated the destination bucket's backing array up
+// to log2(k) times when k far-future events (refresh windows, telemetry
+// epochs of a large config) came due on the same cycle; this path performs
+// at most one allocation per destination bucket, and none once the bucket
+// has seen a batch of that size before.
 func (q *Queue) migrate() {
 	horizon := q.now + wheelSize
-	for len(q.overflow) > 0 && q.overflow[0].at < horizon {
-		q.pushWheel(q.popOverflow())
+	if len(q.overflow) == 0 || q.overflow[0].at >= horizon {
+		return
 	}
+	// Partition in place: due events stage in scratch, the rest compact to
+	// the front of the heap array (reads stay ahead of writes).
+	keep := q.overflow[:0]
+	sc := q.scratch[:0]
+	for i := range q.overflow {
+		if q.overflow[i].at < horizon {
+			sc = append(sc, q.overflow[i])
+		} else {
+			keep = append(keep, q.overflow[i])
+		}
+	}
+	// Release the tail slots the compaction vacated, then re-heapify.
+	for i := len(keep); i < len(q.overflow); i++ {
+		q.overflow[i] = timed{}
+	}
+	q.overflow = keep
+	for j := len(keep)/2 - 1; j >= 0; j-- {
+		siftDown(keep, j, len(keep))
+	}
+	slices.SortFunc(sc, func(a, b timed) int {
+		if less(&a, &b) {
+			return -1
+		}
+		return 1
+	})
+	// Bulk-insert runs of same-cycle events, reserving each destination
+	// bucket once. Within the horizon each cycle maps to a unique bucket,
+	// so a run shares its destination.
+	for i := 0; i < len(sc); {
+		j := i + 1
+		for j < len(sc) && sc[j].at == sc[i].at {
+			j++
+		}
+		q.reserveWheel(sc[i].at, j-i)
+		for ; i < j; i++ {
+			q.pushWheel(sc[i])
+		}
+	}
+	// Zero the staging slots so retained capacity holds no payloads.
+	for i := range sc {
+		sc[i] = timed{}
+	}
+	q.scratch = sc[:0]
+}
+
+// reserveWheel ensures the bucket for cycle t can take n more events
+// without growing during the subsequent appends.
+func (q *Queue) reserveWheel(t int64, n int) {
+	if q.wheel == nil {
+		q.wheel = make([]bucket, wheelSize)
+		q.occ = make([]uint64, occWords)
+	}
+	b := &q.wheel[int(t&wheelMask)]
+	if cap(b.items)-len(b.items) >= n {
+		return
+	}
+	grown := make([]timed, len(b.items), len(b.items)+n)
+	copy(grown, b.items)
+	b.items = grown
 }
 
 // nextWheelBucket scans the occupancy bitmap circularly from the current
@@ -271,6 +334,36 @@ func (q *Queue) Step() bool {
 		ev.h.HandleEvent(q.now, ev.i, ev.p)
 	}
 	return true
+}
+
+// NextAt returns the cycle of the earliest pending event without running
+// it, and false when the calendar is empty. The wheel, when populated,
+// always holds the global minimum: overflow events live at or beyond the
+// wheel horizon and are migrated in as the clock approaches them.
+func (q *Queue) NextAt() (int64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	if q.wheelN > 0 {
+		b := &q.wheel[q.nextWheelBucket()]
+		return b.items[b.head].at, true
+	}
+	return q.overflow[0].at, true
+}
+
+// RunBefore pumps every event strictly before the horizon cycle and
+// returns the final time. Events at or after the horizon stay pending, so
+// a caller advancing the horizon in fixed quanta replays exactly the
+// sequence a single Drain would: this is the per-shard inner loop of the
+// epoch-barrier runner.
+func (q *Queue) RunBefore(horizon int64) int64 {
+	for {
+		t, ok := q.NextAt()
+		if !ok || t >= horizon {
+			return q.now
+		}
+		q.Step()
+	}
 }
 
 // RunUntil pumps events until the calendar empties or the given predicate

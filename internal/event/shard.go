@@ -1,0 +1,246 @@
+// Shard engine: conservatively-synchronized parallel execution of several
+// independent timing wheels.
+//
+// A ShardGroup owns N member queues (shards) and advances them in lockstep
+// epochs of a fixed quantum. Within an epoch every shard runs its own
+// events strictly below the epoch horizon — in parallel, each wheel
+// touched by exactly one worker goroutine — and then all shards meet at a
+// barrier. Cross-shard interactions travel as messages: a sender posts
+// into the destination shard's mailbox during the epoch, and at the
+// barrier each mailbox is drained single-threaded in the canonical
+// (time, source shard, source sequence) order before any shard resumes.
+//
+// # Determinism
+//
+// The construction is conservative (Chandy–Misra–Bryant style): a message
+// may only target a cycle at or beyond the current horizon, so no shard
+// ever receives an event in its past, and the epoch quantum must not
+// exceed the minimum cross-shard latency (the lookahead). Because each
+// shard's intra-epoch execution depends only on its own queue, and
+// mailboxes are drained in canonical order at a single-threaded barrier,
+// the event sequence each shard executes is a pure function of the inputs
+// — independent of the number of worker goroutines and of OS scheduling.
+// -shards N is therefore purely a speed knob: byte-identical results at
+// any worker count, including 1 (the single-threaded verification mode).
+package event
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StepFunc runs one shard's events strictly below the epoch horizon. It
+// is called with the shard index; implementations typically wrap
+// Queue.NextAt/Step to interleave bookkeeping (watchdogs, cancellation
+// polls) with the drain. Returning an error aborts the run.
+type StepFunc func(shard int, horizon int64) error
+
+// BarrierFunc runs single-threaded after every shard has quiesced at the
+// epoch horizon and all mailboxes have been drained. Returning stop=true
+// ends the run after this epoch; an error aborts it.
+type BarrierFunc func(horizon int64) (stop bool, err error)
+
+// ShardStats describes one shard's activity over a run. BusyNS is
+// wall-clock and therefore machine-dependent; everything else is a pure
+// function of the simulation inputs.
+type ShardStats struct {
+	Delivered int64 // cross-shard messages delivered into this shard
+	Sent      int64 // cross-shard messages sent by this shard
+	BusyNS    int64 // wall-clock nanoseconds spent running this shard's events
+}
+
+// msg is one cross-shard message in flight: an event for the destination
+// queue plus the (src, seq) stamp that fixes its canonical drain position.
+type msg struct {
+	at  int64
+	src int
+	seq int64
+	h   Handler
+	i   int64
+	p   any
+}
+
+// shard is the group's per-member state. The queue is touched only by the
+// shard's worker during the parallel phase and only by the barrier thread
+// between phases; the inbox is the one concurrently-written structure.
+type shard struct {
+	queue   *Queue
+	stats   ShardStats
+	sendSeq int64
+
+	mu    sync.Mutex
+	inbox []msg
+}
+
+// ShardGroup coordinates parallel epochs over a set of member queues.
+type ShardGroup struct {
+	quantum int64
+	horizon atomic.Int64 // exclusive bound of the epoch in flight
+	shards  []*shard
+	epochs  int64
+}
+
+// NewShardGroup wraps the given queues as one barrier-synchronized group.
+// The quantum is the epoch length in cycles; it must be positive and must
+// not exceed the minimum cross-shard message latency, or Send will reject
+// messages as causality violations.
+func NewShardGroup(queues []*Queue, quantum int64) (*ShardGroup, error) {
+	if len(queues) == 0 {
+		return nil, fmt.Errorf("event: shard group needs at least one queue")
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("event: shard quantum must be positive, got %d", quantum)
+	}
+	g := &ShardGroup{quantum: quantum}
+	for _, q := range queues {
+		if q == nil {
+			return nil, fmt.Errorf("event: nil queue in shard group")
+		}
+		g.shards = append(g.shards, &shard{queue: q})
+	}
+	return g, nil
+}
+
+// Send posts a typed event from shard src to shard dst's queue at cycle
+// at. The message lands in dst's mailbox and is scheduled at the next
+// barrier, in (at, src, seq) order. at must be at or beyond the current
+// epoch horizon — the conservative lookahead condition; violating it
+// would deliver an event into the destination's past, so Send rejects it.
+// Safe to call concurrently from worker goroutines and from the barrier.
+func (g *ShardGroup) Send(src, dst int, at int64, h Handler, i int64, p any) error {
+	if dst < 0 || dst >= len(g.shards) || src < 0 || src >= len(g.shards) {
+		return fmt.Errorf("event: shard send %d→%d out of range [0,%d)", src, dst, len(g.shards))
+	}
+	if hz := g.horizon.Load(); at < hz {
+		return fmt.Errorf("event: shard %d→%d message at cycle %d violates lookahead (epoch horizon %d, quantum %d)",
+			src, dst, at, hz, g.quantum)
+	}
+	s := g.shards[src]
+	seq := atomic.AddInt64(&s.sendSeq, 1)
+	atomic.AddInt64(&s.stats.Sent, 1)
+	d := g.shards[dst]
+	d.mu.Lock()
+	d.inbox = append(d.inbox, msg{at: at, src: src, seq: seq, h: h, i: i, p: p})
+	d.mu.Unlock()
+	return nil
+}
+
+// deliver drains every mailbox into its queue in canonical order. Runs
+// single-threaded between the parallel phase and the barrier callback.
+func (g *ShardGroup) deliver() {
+	for _, s := range g.shards {
+		s.mu.Lock()
+		box := s.inbox
+		s.inbox = nil
+		s.mu.Unlock()
+		if len(box) == 0 {
+			continue
+		}
+		// Canonical (at, src, seq) order: ties in time break by source
+		// shard, then by that source's send order — the order a single
+		// global calendar would have assigned.
+		for i := 1; i < len(box); i++ {
+			for j := i; j > 0 && msgLess(&box[j], &box[j-1]); j-- {
+				box[j], box[j-1] = box[j-1], box[j]
+			}
+		}
+		for _, m := range box {
+			s.queue.Schedule(m.at, m.h, m.i, m.p)
+			s.stats.Delivered++
+		}
+	}
+}
+
+func msgLess(a, b *msg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// Run drives the group: repeated epochs of parallel shard execution
+// followed by mailbox delivery and the barrier callback, until the
+// barrier stops the run or a step errors. workers caps the goroutines
+// used for the parallel phase (clamped to [1, len(shards)]); shards are
+// assigned statically (shard k → worker k mod W) so the partition — and
+// with it every queue's execution — is identical for every worker count.
+func (g *ShardGroup) Run(workers int, step StepFunc, barrier BarrierFunc) error {
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+	g.horizon.Store(g.quantum)
+	errs := make([]error, len(g.shards))
+	for {
+		g.epochs++
+		horizon := g.horizon.Load()
+		if w == 1 {
+			for k := range g.shards {
+				g.runShard(k, horizon, step, errs)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for worker := 0; worker < w; worker++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for k := worker; k < len(g.shards); k += w {
+						g.runShard(k, horizon, step, errs)
+					}
+				}(worker)
+			}
+			wg.Wait()
+		}
+		// Surface the lowest-indexed error so the failure, like
+		// everything else, does not depend on goroutine scheduling.
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		g.deliver()
+		stop, err := barrier(horizon)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		g.horizon.Store(horizon + g.quantum)
+	}
+}
+
+// runShard executes one shard's slice of the epoch, timing the busy span.
+func (g *ShardGroup) runShard(k int, horizon int64, step StepFunc, errs []error) {
+	start := time.Now()
+	errs[k] = step(k, horizon)
+	g.shards[k].stats.BusyNS += time.Since(start).Nanoseconds()
+}
+
+// Horizon returns the exclusive cycle bound of the epoch in flight — the
+// earliest cycle a cross-shard message may target. Safe to call from
+// worker goroutines.
+func (g *ShardGroup) Horizon() int64 { return g.horizon.Load() }
+
+// Epochs returns how many epochs the group has run.
+func (g *ShardGroup) Epochs() int64 { return g.epochs }
+
+// Quantum returns the epoch length in cycles.
+func (g *ShardGroup) Quantum() int64 { return g.quantum }
+
+// Stats returns a snapshot of per-shard activity. Call after Run returns.
+func (g *ShardGroup) Stats() []ShardStats {
+	out := make([]ShardStats, len(g.shards))
+	for k, s := range g.shards {
+		out[k] = s.stats
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+)
+
+const testQuantum = 64
+
+// shardActor is a self-perpetuating deterministic workload bound to one
+// shard: every dispatch folds (now, i, id) into a running hash, advances a
+// per-shard xorshift stream, reschedules itself locally, and occasionally
+// sends a cross-shard message one quantum ahead (the minimum conservative
+// lookahead).
+type shardActor struct {
+	g      *ShardGroup
+	q      *Queue
+	peers  []*shardActor
+	id     int
+	rng    uint64
+	hash   uint64
+	count  int64
+	sendEr error
+}
+
+// crossMark tags cross-shard messages so the receiving actor can tell
+// them from its own self-chain events.
+var crossMark = new(int)
+
+func (a *shardActor) HandleEvent(now int64, i int64, p any) {
+	a.count++
+	a.hash = a.hash*1315423911 + uint64(now)*31 + uint64(i)*7 + uint64(a.id) + 1
+	a.rng ^= a.rng << 13
+	a.rng ^= a.rng >> 7
+	a.rng ^= a.rng << 17
+	if p == crossMark {
+		// A delivered cross-shard message perturbs this actor's hash and
+		// rng stream — remote traffic observably changes local execution —
+		// but must not spawn another self-perpetuating chain, or the event
+		// population grows geometrically and the run never gets cheap.
+		return
+	}
+	a.q.Schedule(now+1+int64(a.rng%13), a, i+1, nil)
+	if a.rng%5 == 0 {
+		dst := int(a.rng>>8) % len(a.peers)
+		err := a.g.Send(a.id, dst, now+testQuantum, a.peers[dst], now<<8|int64(a.id), crossMark)
+		if err != nil && a.sendEr == nil {
+			a.sendEr = err
+		}
+	}
+}
+
+// buildActorGroup wires n shards with one actor each, seeded identically
+// for every invocation, and returns the group plus its members.
+func buildActorGroup(t *testing.T, n int) (*ShardGroup, []*Queue, []*shardActor) {
+	t.Helper()
+	queues := make([]*Queue, n)
+	actors := make([]*shardActor, n)
+	for k := range queues {
+		queues[k] = &Queue{}
+		actors[k] = &shardActor{q: queues[k], id: k, rng: uint64(k)*2654435761 + 1}
+	}
+	g, err := NewShardGroup(queues, testQuantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range actors {
+		actors[k].g = g
+		actors[k].peers = actors
+		queues[k].Schedule(0, actors[k], 0, nil)
+	}
+	return g, queues, actors
+}
+
+// runActorEpochs drives the group for a fixed number of epochs and
+// returns a per-shard signature covering every observable the simulator
+// relies on being scheduling-independent.
+func runActorEpochs(t *testing.T, workers, shards, epochs int) string {
+	t.Helper()
+	g, queues, actors := buildActorGroup(t, shards)
+	step := func(k int, horizon int64) error {
+		queues[k].RunBefore(horizon)
+		return nil
+	}
+	barrier := func(horizon int64) (bool, error) {
+		return horizon >= int64(epochs)*testQuantum, nil
+	}
+	if err := g.Run(workers, step, barrier); err != nil {
+		t.Fatal(err)
+	}
+	sig := ""
+	for k, a := range actors {
+		if a.sendEr != nil {
+			t.Fatalf("shard %d send: %v", k, a.sendEr)
+		}
+		st := g.Stats()[k]
+		sig += fmt.Sprintf("shard%d hash=%x count=%d now=%d sent=%d delivered=%d\n",
+			k, a.hash, a.count, queues[k].Now(), st.Sent, st.Delivered)
+	}
+	if g.Epochs() != int64(epochs) {
+		t.Fatalf("ran %d epochs, want %d", g.Epochs(), epochs)
+	}
+	return sig
+}
+
+// TestShardGroupDeterministicAcrossWorkers is the engine-level determinism
+// contract behind -shards: the same 8-shard workload, with cross-shard
+// traffic every few events, must produce identical per-shard hashes,
+// counts, clocks, and mailbox statistics whether it runs on 1, 2, 4, or 7
+// workers. Run under -race this also exercises the Send/deliver
+// synchronization.
+func TestShardGroupDeterministicAcrossWorkers(t *testing.T) {
+	const shards, epochs = 8, 30
+	want := runActorEpochs(t, 1, shards, epochs)
+	for _, workers := range []int{2, 4, 7, 16} {
+		got := runActorEpochs(t, workers, shards, epochs)
+		if got != want {
+			t.Errorf("workers=%d diverged from single-threaded run:\n got:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestShardGroupCanonicalMailboxOrder pins the drain order: messages for
+// the same cycle arrive in (source shard, source sequence) order no matter
+// which worker ran the sender first.
+func TestShardGroupCanonicalMailboxOrder(t *testing.T) {
+	const n = 4
+	queues := make([]*Queue, n)
+	for k := range queues {
+		queues[k] = &Queue{}
+	}
+	g, err := NewShardGroup(queues, testQuantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int64
+	sink := HandlerFunc(func(now int64, i int64, p any) { order = append(order, i) })
+	// Shards 0..2 each send two same-cycle messages to shard 3 during the
+	// first epoch; a dummy event on each makes the step non-trivial.
+	for k := 0; k < 3; k++ {
+		k := k
+		queues[k].At(0, func(now int64) {
+			for m := int64(0); m < 2; m++ {
+				if err := g.Send(k, 3, testQuantum, sink, int64(k)*10+m, nil); err != nil {
+					t.Errorf("send from %d: %v", k, err)
+				}
+			}
+		})
+	}
+	step := func(k int, horizon int64) error {
+		queues[k].RunBefore(horizon)
+		return nil
+	}
+	barrier := func(horizon int64) (bool, error) {
+		return horizon >= 2*testQuantum, nil
+	}
+	if err := g.Run(n, step, barrier); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 10, 11, 20, 21}
+	if len(order) != len(want) {
+		t.Fatalf("delivered %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivered %v, want canonical order %v", order, want)
+		}
+	}
+}
+
+// TestShardGroupLookaheadViolation: a message targeting a cycle before the
+// epoch horizon would arrive in the destination's past; Send must refuse.
+func TestShardGroupLookaheadViolation(t *testing.T) {
+	queues := []*Queue{{}, {}}
+	g, err := NewShardGroup(queues, testQuantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := HandlerFunc(func(now int64, i int64, p any) {})
+	var sendErr error
+	queues[0].At(0, func(now int64) {
+		sendErr = g.Send(0, 1, testQuantum-1, sink, 0, nil)
+	})
+	step := func(k int, horizon int64) error {
+		queues[k].RunBefore(horizon)
+		return nil
+	}
+	if err := g.Run(1, step, func(int64) (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr == nil {
+		t.Fatal("sub-lookahead send succeeded, want causality error")
+	}
+	if _, err := NewShardGroup(nil, testQuantum); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := NewShardGroup(queues, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	if err := g.Send(0, 9, testQuantum, sink, 0, nil); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+// TestShardGroupStepError: a failing shard aborts the run with the
+// lowest-indexed error regardless of worker count.
+func TestShardGroupStepError(t *testing.T) {
+	queues := []*Queue{{}, {}, {}}
+	g, err := NewShardGroup(queues, testQuantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		step := func(k int, horizon int64) error {
+			if k >= 1 {
+				return fmt.Errorf("shard %d failed", k)
+			}
+			return nil
+		}
+		err := g.Run(workers, step, func(int64) (bool, error) { return false, nil })
+		if err == nil || err.Error() != "shard 1 failed" {
+			t.Fatalf("workers=%d: got %v, want deterministic lowest-shard error", workers, err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"profess/internal/event"
+	"profess/internal/mem"
+	"profess/internal/telemetry"
+)
+
+// Clustered execution: a Config with Clusters > 1 describes a fleet of
+// independent sub-machines ("sockets"), each a full System — cores, L3
+// slice, controller, channels, policy — on its own timing wheel. The
+// wheels advance in lockstep epochs on the event package's shard engine,
+// with cross-cluster traffic (the completion broadcast below) travelling
+// through epoch mailboxes in canonical order.
+//
+// Why clusters and not per-channel shards of one machine: inside a
+// machine the front-end and its channels are coupled at zero latency —
+// Controller.serve enqueues into a channel at the current cycle, and a
+// completing request resumes its core synchronously — so the conservative
+// lookahead between them is zero and any split would either deadlock or
+// change results. A cluster is the unit that owns all of its zero-latency
+// couplings, so shard = cluster is the finest decomposition for which
+// parallel execution is byte-identical to the single-threaded order. On
+// the Scale16 configuration each cluster owns exactly one channel, which
+// makes the shards per-channel wheels with their slice of the front end.
+
+// clusterEpochCycles is the epoch quantum: clusters synchronize every
+// this many cycles. Cross-cluster messages target at least the current
+// epoch horizon, so the effective lookahead is unbounded and the quantum
+// trades barrier frequency against stop-detection granularity only — one
+// wheel rotation keeps both negligible.
+const clusterEpochCycles = 8192
+
+// clusterDone is the payload of the completion broadcast: cluster's
+// programs all finished their first run at the given cycle.
+type clusterDone struct {
+	cluster int
+	cycle   int64
+}
+
+// fleetMonitor lives on cluster 0's wheel and records completion
+// broadcasts in their canonical delivery order.
+type fleetMonitor struct {
+	order []*clusterDone
+}
+
+func (m *fleetMonitor) HandleEvent(now int64, _ int64, p any) {
+	m.order = append(m.order, p.(*clusterDone))
+}
+
+// clusterState is the runner's per-cluster bookkeeping.
+type clusterState struct {
+	sys       *System
+	remaining *int
+	shardTel  *telemetry.Sampler
+
+	doneAt   int64 // cycle every program first completed (0 = not yet)
+	frozen   bool  // stopped stepping (MaxCycles reached)
+	timedOut bool
+	sendErr  error
+
+	events  int64 // events dispatched, also the telemetry counter source
+	lastNow int64
+	stale   int
+}
+
+// runClustered executes a Clusters > 1 configuration on the shard engine.
+// Results are a deterministic merge of the per-cluster results and are
+// byte-identical for every Shards value.
+func runClustered(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Clusters
+	if len(specs) == 0 || len(specs)%n != 0 {
+		return nil, fmt.Errorf("sim: %d programs cannot split evenly across %d clusters", len(specs), n)
+	}
+	per := len(specs) / n
+
+	states := make([]*clusterState, n)
+	queues := make([]*event.Queue, n)
+	for k := 0; k < n; k++ {
+		sub := cfg.clusterSlice(k)
+		policy, err := NewPolicy(scheme, per, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := NewSystem(sub, specs[k*per:(k+1)*per], policy)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cluster %d: %w", k, err)
+		}
+		st := &clusterState{sys: sys, lastNow: -1}
+		if sub.TelemetryEvery > 0 {
+			// A second, cluster-local sampler carries the shard engine's
+			// occupancy series. Its values are pure simulation state
+			// (events dispatched, queue depth), so clustered telemetry
+			// stays byte-identical across worker counts; wall-clock stall
+			// time lives in ShardGroup.Stats, outside the Result.
+			tel, err := telemetry.New(telemetry.Config{Every: sub.TelemetryEvery, Capacity: sub.TelemetryCapacity})
+			if err != nil {
+				return nil, err
+			}
+			tel.Counter("shard.events", func() int64 { return st.events })
+			tel.Gauge("shard.pending", func(int64) float64 { return float64(sys.Queue.Len()) })
+			tel.Start(sys.Queue)
+			st.shardTel = tel
+		}
+		states[k] = st
+		queues[k] = sys.Queue
+	}
+
+	group, err := event.NewShardGroup(queues, clusterEpochCycles)
+	if err != nil {
+		return nil, err
+	}
+	monitor := &fleetMonitor{}
+	for k, st := range states {
+		k, st := k, st
+		st.remaining = st.sys.startCores(func(now int64) {
+			st.doneAt = now
+			// Broadcast the completion to the fleet monitor on cluster 0:
+			// the one cross-cluster message class of this topology. It
+			// targets the current epoch horizon — the minimum cycle the
+			// conservative protocol admits.
+			if err := group.Send(k, 0, group.Horizon(), monitor, 0, &clusterDone{cluster: k, cycle: now}); err != nil && st.sendErr == nil {
+				st.sendErr = err
+			}
+		})
+	}
+
+	step := func(k int, horizon int64) error {
+		st := states[k]
+		if st.frozen {
+			return nil
+		}
+		q := st.sys.Queue
+		for {
+			t, ok := q.NextAt()
+			if !ok || t >= horizon {
+				return nil
+			}
+			q.Step()
+			st.events++
+			if st.sendErr != nil {
+				return st.sendErr
+			}
+			if cfg.MaxCycles > 0 && q.Now() >= cfg.MaxCycles {
+				st.frozen = true
+				st.timedOut = *st.remaining > 0
+				return nil
+			}
+			if st.events%watchdogCheckEvents == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("sim: cluster %d aborted at cycle %d: %w", k, q.Now(), err)
+				}
+				if now := q.Now(); now == st.lastNow {
+					st.stale++
+					if st.stale >= watchdogStaleChecks {
+						return fmt.Errorf("sim: cluster %d: no progress: %d events without advancing past cycle %d",
+							k, int64(st.stale)*watchdogCheckEvents, now)
+					}
+				} else {
+					st.lastNow = now
+					st.stale = 0
+				}
+			}
+		}
+	}
+
+	// The barrier stops one epoch after every cluster has either completed
+	// its first runs or frozen at MaxCycles: completion broadcasts sent in
+	// the deciding epoch are delivered at its barrier and execute in the
+	// grace epoch, so the monitor's record is complete before the stop.
+	stopArmed := false
+	barrier := func(horizon int64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("sim: aborted at cycle %d: %w", horizon, err)
+		}
+		if stopArmed {
+			return true, nil
+		}
+		for _, st := range states {
+			if st.doneAt == 0 && !st.frozen {
+				return false, nil
+			}
+		}
+		stopArmed = true
+		return false, nil
+	}
+
+	runErr := group.Run(cfg.Shards, step, barrier)
+	for _, st := range states {
+		for _, c := range st.sys.Cores {
+			c.Stop()
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return mergeClustered(cfg, states, monitor)
+}
+
+// mergeClustered folds the per-cluster results into one Result in cluster
+// order — a pure function of deterministic inputs.
+func mergeClustered(cfg Config, states []*clusterState, monitor *fleetMonitor) (*Result, error) {
+	merged := &Result{ClusterDone: make([]int64, len(states))}
+	var (
+		stcHits, stcMisses int64
+		l3Hits, l3Misses   int64
+		chans              []*mem.Channel
+		telParts           []telemetry.MergePart
+	)
+	for k, st := range states {
+		res, err := st.sys.gather(st.timedOut)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cluster %d: %w", k, err)
+		}
+		merged.Scheme = res.Scheme
+		if res.Cycles > merged.Cycles {
+			merged.Cycles = res.Cycles
+		}
+		merged.TimedOut = merged.TimedOut || res.TimedOut
+		merged.PerCore = append(merged.PerCore, res.PerCore...)
+		merged.Counts.Add(res.Counts)
+		merged.STReads += res.STReads
+		merged.STWrites += res.STWrites
+		merged.Resilience.Add(res.Resilience)
+		merged.ClusterDone[k] = st.doneAt
+		for _, stc := range st.sys.Ctl.STCs() {
+			stcHits += stc.Hits
+			stcMisses += stc.Misses
+		}
+		l3Hits += st.sys.L3.Hits
+		l3Misses += st.sys.L3.Misses
+		chans = append(chans, st.sys.Ctl.Channels()...)
+		if res.Telemetry != nil {
+			st.shardTel.Finish(res.Cycles)
+			telParts = append(telParts,
+				telemetry.MergePart{Prefix: fmt.Sprintf("c%d.", k), S: res.Telemetry},
+				telemetry.MergePart{Prefix: fmt.Sprintf("c%d.", k), S: st.shardTel})
+		}
+	}
+	// Completion broadcasts carry the authoritative completion cycles;
+	// they can only be missing when the monitor's own cluster froze at
+	// MaxCycles before the grace epoch, where the state-side fallback
+	// above already holds the same value.
+	for _, d := range monitor.order {
+		merged.ClusterDone[d.cluster] = d.cycle
+	}
+	if t := stcHits + stcMisses; t > 0 {
+		merged.STCHitRate = float64(stcHits) / float64(t)
+	}
+	if t := l3Hits + l3Misses; t > 0 {
+		merged.L3HitRate = float64(l3Hits) / float64(t)
+	}
+	if demand := merged.Counts.DemandAccesses(); demand > 0 {
+		merged.SwapFraction = float64(merged.Counts.Swaps) / float64(demand)
+	}
+	rep := cfg.Energy.Evaluate(merged.Counts, merged.Cycles, cfg.Channels)
+	merged.EnergyEff = rep.Efficiency()
+	merged.Watts = rep.Watts()
+	merged.NVM = nvmWear(chans, merged.Cycles)
+	merged.Telemetry = telemetry.Merge(telParts)
+	return merged, nil
+}

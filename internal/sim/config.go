@@ -30,6 +30,21 @@ type Config struct {
 	STCEntries int
 	STCWays    int
 
+	// Clusters partitions the machine into that many independent
+	// sub-machines ("sockets"): each cluster owns Cores/Clusters cores, its
+	// own L3 slice, controller, Channels/Clusters channels, policy instance
+	// and timing wheel, and the clusters advance in lockstep epochs (see
+	// internal/event's shard engine). 0 or 1 is the classic single machine.
+	// Clusters is a semantic knob — it changes the simulated topology and
+	// therefore the results — so it participates in run-cache keys.
+	Clusters int
+	// Shards caps the worker goroutines driving the cluster wheels of a
+	// clustered run. It is a pure speed knob: results are byte-identical
+	// for every value, including 1 (the single-threaded verification mode,
+	// also the default). Ignored when Clusters <= 1; excluded from
+	// run-cache keys.
+	Shards int
+
 	CoreCfg cpu.Config
 	// Instructions is the per-run instruction budget per program.
 	Instructions int64
@@ -118,6 +133,35 @@ func SingleCoreConfig(scale float64) Config {
 	return c
 }
 
+// Scale16Config returns the sixteen-program "datacenter node" scaling
+// showcase at the given scale: 8 clusters of 2 cores + 1 channel each,
+// 1 GB M1 / 8 GB M2 (GB-class at scale 1), 32 MB L3 and a 128-KB STC,
+// all sliced evenly across the clusters. Pair it with workload.Fleet16;
+// drive the worker count with Config.Shards.
+func Scale16Config(scale float64) Config {
+	return Config{
+		Cores:    16,
+		Channels: 8,
+		Clusters: 8,
+		// Quanta carry an extra ×8 so every capacity stays divisible by
+		// the cluster count after scaling.
+		M1Capacity:     scaleBytes(1<<30, scale, 8*2048*8),
+		M2Slots:        8,
+		Regions:        256,
+		L3Capacity:     scaleBytes(32<<20, scale, 16*64*8),
+		L3Ways:         16,
+		L3HitLatency:   20,
+		STCEntries:     scaleCount(16384, scale, 8*8*8),
+		STCWays:        8,
+		CoreCfg:        cpu.DefaultConfig(),
+		Instructions:   int64(500e6 * scale),
+		ModelSTTraffic: true,
+		Seed:           1,
+		Scale:          scale,
+		Energy:         energy.Default(),
+	}
+}
+
 // scaleBytes scales a capacity, rounding up to a multiple of quantum.
 func scaleBytes(base int64, scale float64, quantum int64) int64 {
 	v := int64(float64(base) * scale)
@@ -168,5 +212,47 @@ func (c Config) Validate() error {
 	if c.TelemetryCapacity < 0 {
 		return fmt.Errorf("sim: negative telemetry capacity %d", c.TelemetryCapacity)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sim: negative shard count %d", c.Shards)
+	}
+	if c.Clusters > 1 {
+		n := c.Clusters
+		if c.Cores%n != 0 || c.Channels%n != 0 {
+			return fmt.Errorf("sim: %d clusters must divide cores (%d) and channels (%d) evenly",
+				n, c.Cores, c.Channels)
+		}
+		if c.M1Capacity%int64(n) != 0 || c.L3Capacity%int64(n) != 0 {
+			return fmt.Errorf("sim: %d clusters must divide M1 (%d B) and L3 (%d B) evenly",
+				n, c.M1Capacity, c.L3Capacity)
+		}
+		if c.STCEntries%n != 0 || c.Regions%n != 0 {
+			return fmt.Errorf("sim: %d clusters must divide STC entries (%d) and regions (%d) evenly",
+				n, c.STCEntries, c.Regions)
+		}
+		if c.Regions/n <= c.Cores/n {
+			return fmt.Errorf("sim: %d regions per cluster cannot host %d cores' private regions plus shared ones",
+				c.Regions/n, c.Cores/n)
+		}
+	}
 	return nil
+}
+
+// clusterSlice derives cluster k's share of a clustered configuration: a
+// single-machine config with 1/Clusters of every partitioned resource and
+// a cluster-salted seed, validated by the caller's Validate on the parent.
+func (c Config) clusterSlice(k int) Config {
+	n := c.Clusters
+	sub := c
+	sub.Clusters = 1
+	sub.Shards = 0
+	sub.Cores = c.Cores / n
+	sub.Channels = c.Channels / n
+	sub.M1Capacity = c.M1Capacity / int64(n)
+	sub.L3Capacity = c.L3Capacity / int64(n)
+	sub.STCEntries = c.STCEntries / n
+	sub.Regions = c.Regions / n
+	// Distinct allocator/generator salt per cluster, derived so the whole
+	// fleet stays a pure function of the parent seed.
+	sub.Seed = c.Seed ^ (uint64(k+1) * 0x9E3779B97F4A7C15)
+	return sub
 }

@@ -59,6 +59,24 @@ func SpecsForWorkload(w workload.Workload, scale float64) ([]ProgramSpec, error)
 	return specs, nil
 }
 
+// SpecsForPrograms builds specs for an arbitrary program-name list at the
+// given scale, instancing repeated names like SpecsForWorkload does. This
+// is how the Fleet16 mix of the Scale16 configuration is materialised.
+func SpecsForPrograms(names []string, scale float64) ([]ProgramSpec, error) {
+	specs := make([]ProgramSpec, len(names))
+	seen := map[string]int{}
+	for i, name := range names {
+		prog, err := workload.ProgramByName(name)
+		if err != nil {
+			return nil, err
+		}
+		inst := seen[name]
+		seen[name] = inst + 1
+		specs[i] = ProgramSpec{Name: name, Params: prog.Params(scale, workload.Seed(name, inst))}
+	}
+	return specs, nil
+}
+
 // SpecForProgram builds a single program spec at the given scale.
 func SpecForProgram(name string, scale float64) (ProgramSpec, error) {
 	prog, err := workload.ProgramByName(name)
@@ -122,6 +140,11 @@ type Result struct {
 	Resilience stats.Resilience
 	// NVM reports M2 write wear and the lifetime projected from it.
 	NVM NVMWear
+	// ClusterDone, for clustered runs (Config.Clusters > 1), holds the
+	// cycle at which each cluster's programs first completed, as recorded
+	// by the cross-shard completion broadcast (0 = timed out first).
+	// Empty for classic single-machine runs.
+	ClusterDone []int64 `json:",omitempty"`
 	// Telemetry holds the per-epoch sampler when Config.TelemetryEvery > 0;
 	// nil otherwise. Excluded from the JSON summary — export it separately
 	// via WriteJSONL/WriteCSV.
@@ -360,20 +383,7 @@ func (s *System) Run() (*Result, error) { return s.RunContext(context.Background
 // or a pathological fault plan) is aborted with an error instead of
 // spinning forever.
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
-	threadsLeft := make([]int, len(s.specs))
-	for _, p := range s.coreProg {
-		threadsLeft[p]++
-	}
-	remaining := len(s.specs)
-	for ci, c := range s.Cores {
-		p := s.coreProg[ci]
-		c.Start(func(now int64) {
-			threadsLeft[p]--
-			if threadsLeft[p] == 0 {
-				remaining--
-			}
-		})
-	}
+	remaining := s.startCores(nil)
 	timedOut := false
 	var (
 		events  int64
@@ -382,7 +392,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		runErr  error
 	)
 	s.Queue.RunUntil(func() bool {
-		if remaining <= 0 {
+		if *remaining <= 0 {
 			return true
 		}
 		if s.Cfg.MaxCycles > 0 && s.Queue.Now() >= s.Cfg.MaxCycles {
@@ -415,6 +425,41 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	return s.gather(timedOut)
+}
+
+// startCores arms every core with the first-completion bookkeeping and
+// returns a counter that reaches zero once every program has completed its
+// first run. onAllDone, when non-nil, fires at that moment with the
+// completing cycle — the hook the clustered runner uses to publish a
+// cluster's completion across shards.
+func (s *System) startCores(onAllDone func(now int64)) *int {
+	threadsLeft := make([]int, len(s.specs))
+	for _, p := range s.coreProg {
+		threadsLeft[p]++
+	}
+	remaining := new(int)
+	*remaining = len(s.specs)
+	for ci, c := range s.Cores {
+		p := s.coreProg[ci]
+		c.Start(func(now int64) {
+			threadsLeft[p]--
+			if threadsLeft[p] == 0 {
+				*remaining--
+				if *remaining == 0 && onAllDone != nil {
+					onAllDone(now)
+				}
+			}
+		})
+	}
+	return remaining
+}
+
+// gather stops nothing and assumes the event loop has quiesced: it flushes
+// the STCs and folds the machine's counters into a Result. Shared by the
+// single-machine run loop and the per-cluster collection of a clustered
+// run.
+func (s *System) gather(timedOut bool) (*Result, error) {
 	s.Ctl.FlushSTCs()
 
 	cycles := s.Queue.Now()
@@ -506,7 +551,13 @@ func Run(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 }
 
 // RunContext builds and runs a system in one call, honouring the context.
+// A configuration with Clusters > 1 runs on the sharded engine — one
+// timing wheel per cluster, Config.Shards worker goroutines — and is
+// byte-identical for every shard count.
 func RunContext(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+	if cfg.Clusters > 1 {
+		return runClustered(ctx, cfg, specs, scheme)
+	}
 	policy, err := NewPolicy(scheme, len(specs), cfg.Scale)
 	if err != nil {
 		return nil, err

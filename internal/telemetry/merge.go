@@ -1,0 +1,82 @@
+package telemetry
+
+import "math"
+
+// MergePart names one source sampler inside a merged view: every probe of
+// S appears in the merged schema as Prefix + name.
+type MergePart struct {
+	Prefix string
+	S      *Sampler
+}
+
+// Merge combines several finished samplers into one read-only sampler —
+// the view a clustered run exports, with each cluster's probes prefixed
+// (c0., c1., …). The merged schema is the concatenation of the parts'
+// schemas in part order; records join by epoch index. A part that
+// recorded fewer epochs (its cluster idled or finished early) contributes
+// NaN for the missing tail, which WriteJSONL renders as null. The merged
+// record's cycle is the largest cycle any part sampled for that epoch.
+//
+// Everything here is a pure function of the parts' retained records, so
+// merging deterministic samplers yields byte-identical exports regardless
+// of worker count. Nil or empty parts are skipped; merging nothing
+// returns nil (the universal no-op sampler).
+func Merge(parts []MergePart) *Sampler {
+	type src struct {
+		prefix string
+		s      *Sampler
+		recs   []Record
+	}
+	var srcs []src
+	rows, every := 0, int64(0)
+	var dropped int64
+	for _, p := range parts {
+		if p.S == nil || len(p.S.probes) == 0 {
+			continue
+		}
+		srcs = append(srcs, src{prefix: p.Prefix, s: p.S, recs: p.S.Records()})
+		if n := p.S.Len(); n > rows {
+			rows = n
+		}
+		if e := p.S.Every(); e > every {
+			every = e
+		}
+		dropped += p.S.Dropped
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	out := &Sampler{every: every, capacity: max(rows, 1), started: true, Dropped: dropped}
+	for _, sc := range srcs {
+		for i := range sc.s.probes {
+			// Name-only probes with a NaN gauge: the merged sampler is a
+			// read-only view, never sampled again; the gauge only guards
+			// against a stray Finish call.
+			out.probes = append(out.probes, probe{
+				name:  sc.prefix + sc.s.probes[i].name,
+				gauge: func(int64) float64 { return math.NaN() },
+			})
+		}
+	}
+	for epoch := 0; epoch < rows; epoch++ {
+		vals := make([]float64, 0, len(out.probes))
+		var cycle int64
+		for _, sc := range srcs {
+			if epoch < len(sc.recs) {
+				r := sc.recs[epoch]
+				vals = append(vals, r.Values...)
+				if r.Cycle > cycle {
+					cycle = r.Cycle
+				}
+			} else {
+				for range sc.s.probes {
+					vals = append(vals, math.NaN())
+				}
+			}
+		}
+		out.push(Record{Epoch: int64(epoch), Cycle: cycle, Values: vals})
+		out.epoch++
+		out.lastCycle = cycle
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"profess/internal/event"
+)
+
+// buildSampler records the given per-epoch values for one gauge.
+func buildSampler(t *testing.T, name string, every int64, values []float64) *Sampler {
+	t.Helper()
+	s, err := New(Config{Every: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	s.Gauge(name, func(now int64) float64 { v := values[i]; i++; return v })
+	q := &event.Queue{}
+	s.Start(q)
+	for range values {
+		q.Step()
+	}
+	return s
+}
+
+func TestMergePrefixesAndJoins(t *testing.T) {
+	a := buildSampler(t, "ipc", 10, []float64{1, 2, 3})
+	b := buildSampler(t, "ipc", 10, []float64{4, 5}) // one epoch short
+	m := Merge([]MergePart{{Prefix: "c0.", S: a}, {Prefix: "c1.", S: b}})
+	if got := m.Names(); len(got) != 2 || got[0] != "c0.ipc" || got[1] != "c1.ipc" {
+		t.Fatalf("merged names = %v", got)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("merged %d epochs, want 3 (longest part)", m.Len())
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := `{"epoch":0,"cycle":10,"c0.ipc":1,"c1.ipc":4}`; lines[0] != want {
+		t.Errorf("line 0 = %s, want %s", lines[0], want)
+	}
+	// The short part's missing tail renders as null, not a fabricated value.
+	if want := `{"epoch":2,"cycle":30,"c0.ipc":3,"c1.ipc":null}`; lines[2] != want {
+		t.Errorf("line 2 = %s, want %s", lines[2], want)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if m := Merge(nil); m != nil {
+		t.Errorf("merging nothing should return the nil no-op sampler, got %v", m)
+	}
+	if m := Merge([]MergePart{{Prefix: "x.", S: nil}}); m != nil {
+		t.Errorf("nil parts should be skipped, got %v", m)
+	}
+	// A merged view is read-only: Start must not re-arm it.
+	a := buildSampler(t, "g", 10, []float64{1})
+	m := Merge([]MergePart{{S: a}})
+	q := &event.Queue{}
+	m.Start(q)
+	if q.Len() != 0 {
+		t.Error("Start on a merged sampler scheduled a tick")
+	}
+}

@@ -171,6 +171,25 @@ func WorkloadByName(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
 }
 
+// Fleet16 is the sixteen-program "datacenter node" mix that rides the
+// Scale16 configuration: eight pairs, one per cluster, each pair chosen so
+// its combined Table 9 footprint fits one cluster's slice of M1+M2, and
+// together covering every Table 9 program (six of them twice). The order
+// is load-bearing — specs are split into clusters contiguously, two per
+// cluster, so swapping entries changes which programs share a cluster.
+func Fleet16() []string {
+	return []string{
+		"mcf", "libquantum", // cluster 0: 525 + 32 MB
+		"milc", "zeusmp", // cluster 1: 547 + 112 MB
+		"GemsFDTD", "leslie3d", // cluster 2: 499 + 76 MB
+		"lbm", "omnetpp", // cluster 3: 402 + 138 MB
+		"soplex", "bwaves", // cluster 4: 241 + 265 MB
+		"mcf", "leslie3d", // cluster 5: 525 + 76 MB
+		"lbm", "libquantum", // cluster 6: 402 + 32 MB
+		"GemsFDTD", "omnetpp", // cluster 7: 499 + 138 MB
+	}
+}
+
 // Seed derives a deterministic generator seed for program instance i of a
 // named run, so repeated program names inside one workload differ while
 // runs remain reproducible.

@@ -172,3 +172,32 @@ func TestProgramsReturnsCopy(t *testing.T) {
 		t.Error("Workloads must return a copy")
 	}
 }
+
+// TestFleet16 pins the Scale16 mix: sixteen valid programs in eight
+// cluster pairs, covering the whole Table 9 catalogue, with every pair's
+// combined footprint within one cluster's memory slice (1/8 of the
+// Scale16 machine's 1 GB M1 + 8 GB M2 = 1152 MB at scale 1).
+func TestFleet16(t *testing.T) {
+	fleet := Fleet16()
+	if len(fleet) != 16 {
+		t.Fatalf("Fleet16 has %d programs, want 16", len(fleet))
+	}
+	covered := map[string]bool{}
+	for i := 0; i < len(fleet); i += 2 {
+		var pairMB float64
+		for _, name := range fleet[i : i+2] {
+			p, err := ProgramByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			covered[name] = true
+			pairMB += p.PaperFootprintMB
+		}
+		if pairMB > 1152 {
+			t.Errorf("cluster %d pair %v footprint %.0f MB exceeds the 1152 MB cluster slice", i/2, fleet[i:i+2], pairMB)
+		}
+	}
+	if len(covered) != len(catalog) {
+		t.Errorf("fleet covers %d distinct programs, want all %d of Table 9", len(covered), len(catalog))
+	}
+}

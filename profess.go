@@ -105,6 +105,19 @@ func SingleCoreConfig(scale float64) Config { return sim.SingleCoreConfig(scale)
 // MultiCoreConfig returns the quad-core evaluation system of Table 8.
 func MultiCoreConfig(scale float64) Config { return sim.MultiCoreConfig(scale) }
 
+// Scale16Config returns the sixteen-program, eight-channel "datacenter
+// node" scaling configuration: eight independent clusters on the sharded
+// event engine. Set Config.Shards to choose the worker count — a pure
+// speed knob with byte-identical results.
+func Scale16Config(scale float64) Config { return sim.Scale16Config(scale) }
+
+// Fleet16Specs builds the sixteen-program mix that rides Scale16Config:
+// eight footprint-balanced pairs, one per cluster, covering every Table 9
+// program.
+func Fleet16Specs(scale float64) ([]ProgramSpec, error) {
+	return sim.SpecsForPrograms(workload.Fleet16(), scale)
+}
+
 // Schemes lists every available scheme in presentation order.
 func Schemes() []Scheme { return sim.AllSchemes() }
 

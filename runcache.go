@@ -144,7 +144,14 @@ func cacheable(cfg Config, specs []ProgramSpec) bool {
 // maps), so their %#v rendering is a faithful, deterministic
 // serialisation. TestRunKeyHashableFields guards that property against
 // future fields.
+//
+// Config.Shards is normalised out of the key: the worker count of a
+// clustered run is a pure speed knob with byte-identical results (the
+// contract TestShardCountSweepByteIdentical pins), so -shards 1 and
+// -shards 8 runs of the same cell share one cache entry. Clusters, by
+// contrast, changes the simulated topology and stays in the key.
 func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
+	cfg.Shards = 0
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%#v\x00", scheme, cfg)
 	for _, s := range specs {

@@ -226,3 +226,43 @@ func TestRunCacheDetailTiers(t *testing.T) {
 		t.Errorf("RunCacheStats (%d, %d) inconsistent with detail %+v", hits, misses, d)
 	}
 }
+
+// TestRunCacheShardInvariant pins the runKey normalisation of the shard
+// knob: the worker count of a clustered run cannot split cache cells —
+// -shards 1 and -shards 8 are the same simulation (byte-identical by the
+// sim package's sweep test), so they must share one cached Result, while
+// Clusters (a topology change) must not.
+func TestRunCacheShardInvariant(t *testing.T) {
+	ResetRunCache()
+	SetRunCaching(true)
+	defer SetRunCaching(true)
+
+	cfg := Scale16Config(PaperScale)
+	cfg.Instructions = 5_000
+	specs, err := Fleet16Specs(cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1
+	r1, err := RunSpecs(specs, SchemeProFess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 8
+	r8, err := RunSpecs(specs, SchemeProFess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r8 {
+		t.Error("shards=1 and shards=8 runs should share one cached Result")
+	}
+	if hits, misses := RunCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1 (shards must not split the key)", hits, misses)
+	}
+
+	// Clusters is semantic: a different topology is a different cell.
+	if runKey(cfg, specs, SchemeProFess) == runKey(MultiCoreConfig(PaperScale), specs, SchemeProFess) {
+		t.Error("different topologies hashed to one key")
+	}
+	ResetRunCache()
+}
