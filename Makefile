@@ -10,7 +10,7 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke shard-smoke shard-bench quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke shard-smoke shard-bench arena-smoke quick cover fuzz-smoke
 
 # Minimum statement coverage (percent) for internal/analytic, enforced by
 # `make xval-smoke`: the closed-form tier is only trustworthy while its
@@ -150,6 +150,44 @@ shard-bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -bench=BenchmarkScale16Shards -benchtime=$(SHARD_BENCHTIME) -run='^$$' | \
 		bin/benchjson -label $(BENCH_LABEL) -o $(BENCH_FILE)
+
+# arena-smoke is the CI guard for simulation-state arena reuse. The
+# differential arena-vs-fresh tests run under the race detector, then a
+# cold deterministic sweep (fig5: 18 cells, no cache, no disk) runs twice
+# — arena on and -noarena — with GODEBUG=gctrace=1 so the GC log lands in
+# the job output. The gates: both reports byte-identical, and the
+# arena-on pass stays under a fixed allocation budget per cell
+# (ARENA_ALLOC_BUDGET), which fresh construction exceeds several-fold.
+# Deliberately excludes scale16: its report prints wall-clock scaling
+# tables, so it can never be byte-compared across runs.
+ARENA_EXPS ?= fig5
+ARENA_INSTR ?= 100000
+ARENA_ALLOC_BUDGET ?= 2500
+arena-smoke:
+	$(GO) test -race -count=1 -run 'TestArena' ./internal/sim
+	$(GO) build -o bin/professbench ./cmd/professbench
+	GODEBUG=gctrace=1 bin/professbench -exp $(ARENA_EXPS) -instr $(ARENA_INSTR) \
+		-nocache -cachedir off -benchout bin/arena-on.txt > bin/arena-on.out 2> bin/arena-on.gc
+	GODEBUG=gctrace=1 bin/professbench -exp $(ARENA_EXPS) -instr $(ARENA_INSTR) \
+		-nocache -cachedir off -noarena -benchout bin/arena-off.txt > bin/arena-off.out 2> bin/arena-off.gc
+	cmp bin/arena-on.out bin/arena-off.out
+	@awk '/^BenchmarkExp\/total / { allocs = -1; sims = -1; \
+		for (i = 1; i < NF; i++) { \
+			if ($$(i+1) == "allocs") allocs = $$i; \
+			if ($$(i+1) == "sims") sims = $$i; \
+		} \
+		if (sims <= 0) { print "arena sweep ran no sims"; exit 1 } \
+		per = allocs / sims; \
+		printf "arena-on:  %d allocs / %d cells = %.0f allocs/cell (budget $(ARENA_ALLOC_BUDGET))\n", allocs, sims, per; \
+		if (per > $(ARENA_ALLOC_BUDGET)) { print "arena allocation budget exceeded"; exit 1 } }' bin/arena-on.txt
+	@awk '/^BenchmarkExp\/total / { allocs = -1; sims = -1; \
+		for (i = 1; i < NF; i++) { \
+			if ($$(i+1) == "allocs") allocs = $$i; \
+			if ($$(i+1) == "sims") sims = $$i; \
+		} \
+		printf "arena-off: %d allocs / %d cells = %.0f allocs/cell\n", allocs, sims, allocs / sims }' bin/arena-off.txt
+	@printf "gc cycles: arena-on %s, arena-off %s\n" \
+		"$$(grep -c '^gc ' bin/arena-on.gc || true)" "$$(grep -c '^gc ' bin/arena-off.gc || true)"
 
 # xval-smoke is the CI guard for the analytic fast tier: the committed
 # cross-validation error envelope and the sweep-pruning safety audit

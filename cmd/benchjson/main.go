@@ -183,6 +183,7 @@ func summarise(w io.Writer, traj Trajectory) {
 	if len(traj.Runs) > 0 {
 		shardCurve(w, traj.Runs[len(traj.Runs)-1])
 	}
+	allocCells(w, traj)
 	if len(traj.Runs) < 2 {
 		return
 	}
@@ -219,6 +220,56 @@ func summarise(w io.Writer, traj Trajectory) {
 		if v, ok := rate.Metrics["hit-rate-%"]; ok {
 			fmt.Fprintf(w, "%s run-cache hit rate: %.1f%%\n", last.Label, v)
 		}
+	}
+}
+
+// allocCells prints per-cell allocation costs for benchmarks carrying
+// "allocs" and "sims" metrics (professbench -benchout): heap objects and
+// heap KiB divided by the simulations that phase actually executed. When
+// the trajectory holds a baseline run too (e.g. a -noarena cold sweep
+// against an arena-enabled one), the improvement ratio prints alongside —
+// the committed evidence for arena-reuse allocation reductions.
+func allocCells(w io.Writer, traj Trajectory) {
+	if len(traj.Runs) == 0 {
+		return
+	}
+	last := traj.Runs[len(traj.Runs)-1]
+	perCell := func(r Result) (allocs, bytes float64, ok bool) {
+		s := r.Metrics["sims"]
+		if s <= 0 || r.Metrics["allocs"] <= 0 {
+			return 0, 0, false
+		}
+		return r.Metrics["allocs"] / s, r.Metrics["heap-bytes"] / s, true
+	}
+	var names []string
+	for name, r := range last.Benchmarks {
+		if _, _, ok := perCell(r); ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	vs := "-"
+	var base *Run
+	if len(traj.Runs) > 1 {
+		base = &traj.Runs[0]
+		vs = base.Label
+	}
+	fmt.Fprintf(w, "%s per-cell allocation:\n%-42s %8s %14s %12s %12s\n",
+		last.Label, "benchmark", "sims", "allocs/cell", "KiB/cell", "vs "+vs)
+	for _, name := range names {
+		r := last.Benchmarks[name]
+		a, b, _ := perCell(r)
+		ratio := "-"
+		if base != nil && a > 0 {
+			if ba, _, ok := perCell(base.Benchmarks[name]); ok {
+				ratio = fmt.Sprintf("%.1fx", ba/a)
+			}
+		}
+		fmt.Fprintf(w, "%-42s %8.0f %14.0f %12.1f %12s\n",
+			name, r.Metrics["sims"], a, b/1024, ratio)
 	}
 }
 

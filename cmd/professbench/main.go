@@ -141,17 +141,30 @@ var (
 )
 
 // benchLine is one go-bench-format measurement for -benchout: wall time
-// plus the run-cache counter deltas attributed to that phase or
-// experiment. The format parses with cmd/benchjson unchanged.
+// plus the run-cache counter deltas and heap-allocation deltas attributed
+// to that phase or experiment. The format parses with cmd/benchjson
+// unchanged (unknown units land in its metrics map).
 type benchLine struct {
-	name  string
-	wall  time.Duration
-	delta profess.RunCacheCounters
+	name      string
+	wall      time.Duration
+	delta     profess.RunCacheCounters
+	allocs    uint64
+	heapBytes uint64
 }
 
 func (l benchLine) String() string {
-	return fmt.Sprintf("BenchmarkExp/%s 1 %d ns/op %d sims %d mem-hits %d disk-hits",
-		l.name, l.wall.Nanoseconds(), l.delta.Sims, l.delta.MemHits, l.delta.DiskHits)
+	return fmt.Sprintf("BenchmarkExp/%s 1 %d ns/op %d sims %d mem-hits %d disk-hits %d allocs %d heap-bytes",
+		l.name, l.wall.Nanoseconds(), l.delta.Sims, l.delta.MemHits, l.delta.DiskHits, l.allocs, l.heapBytes)
+}
+
+// memSnapshot reads the process's cumulative allocation counters; deltas
+// between two snapshots attribute heap churn (object count and bytes) to
+// a phase. benchjson divides by the phase's simulation count to report
+// allocs/cell — the arena-reuse regression gate of `make arena-smoke`.
+func memSnapshot() (mallocs, heapBytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
 }
 
 func main() {
@@ -173,8 +186,13 @@ func main() {
 		resume   = flag.Bool("resume", true, "resume an interrupted sweep from its journal in the cache directory; -resume=false discards prior progress and starts fresh")
 		prune    = flag.Bool("prune", false, "prune planned cells whose scheme the analytic fast tier cannot distinguish from a representative; pruned cells render from the representative's result")
 		prunemgn = flag.Float64("prunemargin", profess.DefaultPruneMargin, "analytic indistinguishability margin for -prune (see EXPERIMENTS.md before raising it)")
+		noarena  = flag.Bool("noarena", false, "disable simulation-state arena reuse (every cell constructs a fresh machine; results are byte-identical either way)")
 	)
 	flag.Parse()
+
+	if *noarena {
+		profess.SetArenaReuse(false)
+	}
 
 	// First SIGINT/SIGTERM drains gracefully: in-flight cells stop within
 	// one watchdog epoch, leases release, the journal stays resumable. A
@@ -276,6 +294,7 @@ func main() {
 	if len(planned) > 0 {
 		start := time.Now()
 		before := profess.RunCacheDetail()
+		mallocs0, heap0 := memSnapshot()
 		plan, err := profess.PlanSweep(planned)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "professbench: planning: %v\n", err)
@@ -321,7 +340,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "professbench: execute: %d resumed from journal, %d by other workers, %d leases taken over, %d retries\n",
 				rep.Resumed, rep.External, rep.Stolen, rep.Retries)
 		}
-		lines = append(lines, benchLine{"plan+execute", time.Since(start), d})
+		mallocs1, heap1 := memSnapshot()
+		lines = append(lines, benchLine{"plan+execute", time.Since(start), d, mallocs1 - mallocs0, heap1 - heap0})
 	}
 
 	// Phase 3: render. With a completed plan every cell is a cache hit;
@@ -331,6 +351,7 @@ func main() {
 		expvarCurrent.Set(e.id)
 		start := time.Now()
 		before := profess.RunCacheDetail()
+		mallocs0, heap0 := memSnapshot()
 		rep, err := e.run(opts)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -340,7 +361,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "professbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		lines = append(lines, benchLine{e.id, time.Since(start), profess.RunCacheDetail().Sub(before)})
+		mallocs1, heap1 := memSnapshot()
+		lines = append(lines, benchLine{e.id, time.Since(start), profess.RunCacheDetail().Sub(before), mallocs1 - mallocs0, heap1 - heap0})
 		expvarCompleted.Add(1)
 		if *csv {
 			if c, ok := rep.(profess.CSVer); ok {
@@ -359,9 +381,10 @@ func main() {
 	}
 }
 
-// writeBenchout emits the per-experiment wall times and cache-counter
-// deltas in go-bench format, closed by a total line carrying the sweep's
-// overall hit rate. The file parses with cmd/benchjson as-is.
+// writeBenchout emits the per-experiment wall times, cache-counter and
+// allocation deltas in go-bench format, closed by a total line carrying
+// the sweep's overall hit rate and GOMAXPROCS. The file parses with
+// cmd/benchjson as-is.
 func writeBenchout(path string, lines []benchLine, wall time.Duration) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -369,13 +392,16 @@ func writeBenchout(path string, lines []benchLine, wall time.Duration) error {
 	}
 	fmt.Fprintf(f, "goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
 	var sum profess.RunCacheCounters
+	var allocs, heapBytes uint64
 	for _, l := range lines {
 		sum.Sims += l.delta.Sims
 		sum.MemHits += l.delta.MemHits
 		sum.DiskHits += l.delta.DiskHits
+		allocs += l.allocs
+		heapBytes += l.heapBytes
 		fmt.Fprintln(f, l)
 	}
-	totalLine := benchLine{"total", wall, sum}
-	fmt.Fprintf(f, "%s %.1f hit-rate-%%\n", totalLine, 100*sum.HitRate())
+	totalLine := benchLine{"total", wall, sum, allocs, heapBytes}
+	fmt.Fprintf(f, "%s %.1f hit-rate-%% %d gomaxprocs\n", totalLine, 100*sum.HitRate(), runtime.GOMAXPROCS(0))
 	return f.Close()
 }

@@ -55,9 +55,13 @@ func main() {
 		list     = flag.Bool("list", false, "list programs, workloads and schemes, then exit")
 		nocache  = flag.Bool("nocache", false, "disable the run cache entirely (identical runs re-simulate; no disk tier)")
 		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
+		noarena  = flag.Bool("noarena", false, "disable simulation-state arena reuse (every run constructs a fresh machine; results are byte-identical either way)")
 	)
 	flag.Parse()
 
+	if *noarena {
+		profess.SetArenaReuse(false)
+	}
 	if *nocache {
 		profess.SetRunCaching(false)
 	} else if *cachedir != "" && *cachedir != "off" {

@@ -1,14 +1,18 @@
 package profess
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -239,38 +243,86 @@ func (d *diskCache) has(key string) bool {
 	return err == nil && st.Size() > 0
 }
 
+// storeBufPool recycles the per-store payload encode buffer, and
+// storeWriterPool the buffered file writer in front of the temp file.
+// Sweep workers store thousands of cells back to back; without pooling,
+// every cell re-grows a multi-kilobyte encode buffer from scratch.
+var (
+	storeBufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	storeWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, 32<<10) }}
+)
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
 // store writes one entry atomically, then prunes. Storage is best-effort:
 // any failure (including a Result that does not serialise, e.g. a NaN
 // metric) just means the cell stays a disk miss.
+//
+// The Result is serialised exactly once, into a pooled buffer; the
+// envelope is then written around it field by field, with the checksum
+// streamed over the payload bytes as they go to disk. (The old path
+// marshalled the envelope as a whole, which copied the payload a second
+// time — the dominant allocation of a warm sweep's write side.) The
+// "sum" field is emitted after "result": JSON field order is irrelevant
+// to decoding, and trailing placement is what lets the hash stream
+// during the single write pass. load() is unchanged — its RawMessage
+// captures exactly the payload bytes hashed here (the json.Encoder's
+// trailing newline is trimmed before hashing for the same reason).
 func (d *diskCache) store(key string, res *Result) {
 	dir, _ := d.snapshot()
 	if dir == "" {
 		return
 	}
-	payload, err := json.Marshal(res)
-	if err != nil {
+	buf := storeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer storeBufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(res); err != nil {
 		return
 	}
-	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(diskEnvelope{
-		Format: runCacheFormat,
-		Code:   runCacheCodeStamp,
-		Key:    key,
-		Sum:    hex.EncodeToString(sum[:]),
-		Result: payload,
-	})
-	if err != nil {
-		return
+	payload := buf.Bytes()
+	if n := len(payload); n > 0 && payload[n-1] == '\n' {
+		payload = payload[:n-1]
 	}
+
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return
 	}
-	if _, err := tmp.Write(data); err != nil {
+	bw := storeWriterPool.Get().(*bufio.Writer)
+	bw.Reset(tmp)
+	releaseWriter := func() {
+		bw.Reset(nil)
+		storeWriterPool.Put(bw)
+	}
+
+	h := sha256.New()
+	bw.WriteString(`{"format":`)
+	bw.WriteString(strconv.Itoa(runCacheFormat))
+	bw.WriteString(`,"code":`)
+	bw.Write(jsonString(runCacheCodeStamp))
+	bw.WriteString(`,"key":`)
+	bw.Write(jsonString(key))
+	bw.WriteString(`,"result":`)
+	if _, err := io.MultiWriter(bw, h).Write(payload); err != nil {
+		releaseWriter()
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return
 	}
+	bw.WriteString(`,"sum":"`)
+	bw.WriteString(hex.EncodeToString(h.Sum(nil)))
+	bw.WriteString(`"}`)
+	if err := bw.Flush(); err != nil {
+		releaseWriter()
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	releaseWriter()
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return

@@ -86,6 +86,15 @@ func New(cfg Config) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset invalidates every line and zeroes the LRU clock and hit/miss/
+// writeback counters, returning the cache to its just-built state without
+// reallocating the line array.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.clock = 0
+	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
+}
+
 // Capacity returns the cache capacity in bytes.
 func (c *Cache) Capacity() int64 {
 	return int64(c.cfg.Sets) * int64(c.cfg.Ways) * c.cfg.LineBytes

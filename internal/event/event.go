@@ -292,6 +292,42 @@ func (q *Queue) nextWheelBucket() int {
 	}
 }
 
+// Reset rewinds the calendar to its zero state — clock at cycle 0, no
+// pending events, insertion counter restarted — while keeping the wheel,
+// bucket backing arrays, overflow heap and staging slice allocated for
+// reuse. Pending events are dropped, with their closure/payload
+// references zeroed so retained capacity pins nothing. A reset queue is
+// indistinguishable from a fresh one to every scheduler client; the
+// simulation-state arena relies on this to re-run a machine in place.
+func (q *Queue) Reset() {
+	if q.wheel != nil && q.wheelN > 0 {
+		for w := range q.occ {
+			word := q.occ[w]
+			for word != 0 {
+				idx := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				b := &q.wheel[idx]
+				// Slots before head were already zeroed as they fired.
+				for i := b.head; i < len(b.items); i++ {
+					b.items[i] = timed{}
+				}
+				b.items = b.items[:0]
+				b.head = 0
+			}
+			q.occ[w] = 0
+		}
+	}
+	for i := range q.overflow {
+		q.overflow[i] = timed{}
+	}
+	q.overflow = q.overflow[:0]
+	for i := range q.scratch {
+		q.scratch[i] = timed{}
+	}
+	q.scratch = q.scratch[:0]
+	q.now, q.seq, q.n, q.wheelN = 0, 0, 0, 0
+}
+
 // Empty reports whether no events are pending.
 func (q *Queue) Empty() bool { return q.n == 0 }
 

@@ -21,6 +21,13 @@ type Allocator struct {
 	owner        []int8    // per original block: owning core, -1 if free
 
 	allocated []int64 // pages allocated per program
+
+	// Snapshot of the just-shuffled free lists and the seed that produced
+	// them: Reset with the same seed restores the lists with one copy per
+	// region instead of re-deriving the shuffle (page fill + Fisher-Yates
+	// + RNG stream), the dominant reset cost of an arena-reused machine.
+	shuffleSeed uint64
+	shuffled    [][]int64
 }
 
 // NewAllocator builds the OS view for numPrograms co-running programs.
@@ -63,6 +70,55 @@ func NewAllocator(l Layout, numPrograms int, seed uint64) (*Allocator, error) {
 		a.allowed[c] = regions
 	}
 	return a, nil
+}
+
+// Reset returns the allocator to its just-built state for a (possibly
+// different) shuffle seed: every frame free, every block unowned, the
+// round-robin cursors rewound. The free lists are refilled in page order
+// and reshuffled exactly as NewAllocator does — one rng shared across
+// regions, regions visited in index order — so Reset(seed) is
+// indistinguishable from NewAllocator(l, n, seed) to every caller.
+func (a *Allocator) Reset(seed uint64) {
+	for i := range a.owner {
+		a.owner[i] = -1
+	}
+	clear(a.allocated)
+	clear(a.rr)
+	if seed == a.shuffleSeed && a.shuffled != nil {
+		for r := range a.freeByRegion {
+			a.freeByRegion[r] = append(a.freeByRegion[r][:0], a.shuffled[r]...)
+		}
+		return
+	}
+	for r := range a.freeByRegion {
+		a.freeByRegion[r] = a.freeByRegion[r][:0]
+	}
+	l := a.layout
+	for p := int64(0); p < l.TotalPages(); p++ {
+		r := l.PageRegion(p)
+		a.freeByRegion[r] = append(a.freeByRegion[r], p)
+	}
+	rng := xrand.New(seed)
+	for r := range a.freeByRegion {
+		pages := a.freeByRegion[r]
+		for i := len(pages) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			pages[i], pages[j] = pages[j], pages[i]
+		}
+	}
+	a.snapshotShuffle(seed)
+}
+
+// snapshotShuffle records the freshly shuffled free lists for seed so a
+// later same-seed Reset restores them by copy.
+func (a *Allocator) snapshotShuffle(seed uint64) {
+	if a.shuffled == nil {
+		a.shuffled = make([][]int64, len(a.freeByRegion))
+	}
+	for r, pages := range a.freeByRegion {
+		a.shuffled[r] = append(a.shuffled[r][:0], pages...)
+	}
+	a.shuffleSeed = seed
 }
 
 // Alloc assigns vpages physical page frames to program core and returns

@@ -351,6 +351,40 @@ func (c *Controller) SetFaultInjector(inj *fault.Injector) { c.inj = inj }
 // Policy returns the plugged migration policy.
 func (c *Controller) Policy() Policy { return c.policy }
 
+// Reset returns the controller to its just-built state for a new run of
+// the same shape under a fresh policy: identity block mapping, cleared
+// QACs and M1 residency, empty STCs, zeroed per-core statistics and
+// latency histograms, fault injector disarmed. The freelists and the
+// precomputed translation tables are kept — that reuse is the point.
+// Waiter slices still parked in pendingST (possible after an aborted run)
+// are banked back into the recycling pool; the access records they held
+// are dropped along with the event calendar that owned them.
+func (c *Controller) Reset(policy Policy) {
+	for g := int64(0); g < c.layout.Groups; g++ {
+		for s := int64(0); s < c.slots; s++ {
+			c.perm[g*c.slots+s] = uint8(s)
+		}
+	}
+	clear(c.qac)
+	clear(c.m1)
+	clear(c.swapping)
+	for g, waiters := range c.pendingST {
+		c.putWaiters(waiters)
+		delete(c.pendingST, g)
+	}
+	clear(c.Cores)
+	c.STReads, c.STWrites, c.SwapsDone = 0, 0, 0
+	c.Resilience = stats.Resilience{}
+	for _, h := range c.readHist {
+		h.Reset()
+	}
+	for _, s := range c.stcs {
+		s.Reset()
+	}
+	c.policy = policy
+	c.inj = nil
+}
+
 // Channels returns the controller's channels.
 func (c *Controller) Channels() []*mem.Channel { return c.chans }
 

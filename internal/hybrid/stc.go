@@ -129,6 +129,18 @@ func NewSTC(entries, ways int, indexDiv int64) (*STC, error) {
 // Entries returns the STC capacity in entries.
 func (s *STC) Entries() int { return s.sets * s.ways }
 
+// Reset empties the cache and zeroes the LRU clock and hit/miss counters,
+// returning the STC to its just-built state without reallocating the
+// entry or tag arrays.
+func (s *STC) Reset() {
+	clear(s.lines)
+	for i := range s.tags {
+		s.tags[i] = -1
+	}
+	s.clock = 0
+	s.Hits, s.Misses = 0, 0
+}
+
 // set returns the set index for a global group number.
 func (s *STC) set(group int64) int {
 	local := group

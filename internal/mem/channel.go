@@ -138,6 +138,31 @@ func NewChannel(cfg ChannelConfig, sched event.Scheduler) *Channel {
 // Config returns the channel's configuration.
 func (ch *Channel) Config() ChannelConfig { return ch.cfg }
 
+// Reset returns the channel to its just-built state: banks closed and
+// idle, bus free, queue empty, every counter zeroed, fault injector
+// disarmed. Queued *Request references are dropped (the owning scheduler
+// is reset alongside), and backing arrays are kept for reuse.
+func (ch *Channel) Reset() {
+	for k := 0; k < 2; k++ {
+		for i := range ch.banks[k] {
+			ch.banks[k][i] = bank{openRow: -1}
+		}
+	}
+	ch.busFreeAt = 0
+	ch.blockedUntil = 0
+	for i := range ch.queue {
+		ch.queue[i] = qent{}
+	}
+	ch.queue = ch.queue[:0]
+	ch.nextSeq = 0
+	ch.refCounted = [2]int64{}
+	ch.Counts = EventCounts{}
+	ch.BusBusyCycles = 0
+	clear(ch.m2RowWrites)
+	ch.queueDepthSum, ch.queueSamples = 0, 0
+	ch.inj = nil
+}
+
 // SetFaultInjector arms the channel with a fault injector (nil disarms).
 // The channel draws NVM transient failures per M2 demand burst and stall
 // episodes per enqueue.

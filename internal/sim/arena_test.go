@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"profess/internal/fault"
+)
+
+// arenaCell is one differential test case: a (cfg, specs, scheme) cell
+// executed both through a shared arena and through fresh construction.
+type arenaCell struct {
+	name   string
+	cfg    Config
+	specs  []ProgramSpec
+	scheme Scheme
+}
+
+// arenaMatrix is the standard experiment matrix of the differential
+// test: single- and multi-program cells across schemes, seeds,
+// instruction budgets, fault plans, telemetry, threaded specs and a
+// timed-out run, ordered so the shared arena sees both shape hits
+// (consecutive same-shape cells) and shape flips (rebuilds).
+func arenaMatrix(t *testing.T) []arenaCell {
+	t.Helper()
+	single := func(instr int64) Config {
+		cfg := SingleCoreConfig(PaperScale)
+		cfg.Instructions = instr
+		return cfg
+	}
+	multi := func(instr int64) Config {
+		cfg := MultiCoreConfig(PaperScale)
+		cfg.Instructions = instr
+		return cfg
+	}
+	spec1 := func(name string) []ProgramSpec {
+		s, err := SpecForProgram(name, PaperScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []ProgramSpec{s}
+	}
+	w09 := []string{"mcf", "soplex", "lbm", "GemsFDTD"}
+	mix, err := SpecsForPrograms(w09, PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeded := single(60_000)
+	seeded.Seed = 42
+
+	faulty := single(60_000)
+	faulty.Faults = fault.Plan{
+		Seed:           7,
+		NVMReadRate:    1e-3,
+		NVMWriteRate:   1e-3,
+		StallRate:      1e-4,
+		QACCorruptRate: 1e-3,
+		SFCorruptRate:  1e-2,
+	}
+
+	traced := single(60_000)
+	traced.TelemetryEvery = 10_000
+
+	timed := multi(5_000_000)
+	timed.MaxCycles = 30_000
+
+	threadedCfg := multi(40_000)
+	threaded, err := SpecsForPrograms([]string{"mcf", "omnetpp"}, PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threaded[0].Threads = 2
+
+	return []arenaCell{
+		{"single/lbm/profess", single(60_000), spec1("lbm"), SchemeProFess},
+		{"single/mcf/profess", single(60_000), spec1("mcf"), SchemeProFess},
+		{"single/lbm/mdm", single(60_000), spec1("lbm"), SchemeMDM},
+		{"single/lbm/pom", single(60_000), spec1("lbm"), SchemePoM},
+		{"single/lbm/seed42", seeded, spec1("lbm"), SchemeProFess},
+		{"single/lbm/faults", faulty, spec1("lbm"), SchemeProFess},
+		{"single/lbm/telemetry", traced, spec1("lbm"), SchemeProFess},
+		{"multi/w09/profess", multi(60_000), mix, SchemeProFess},
+		{"multi/w09/mdm", multi(60_000), mix, SchemeMDM},
+		{"multi/w09/cameo", multi(60_000), mix, SchemeCAMEO},
+		{"multi/w09/timedout", timed, mix, SchemeProFess},
+		{"multi/threads/profess", threadedCfg, threaded, SchemeProFess},
+		// Shape flip back to single-core: the arena must rebuild, and the
+		// rebuilt machine must again be exact.
+		{"single/milc/profess", single(60_000), spec1("milc"), SchemeProFess},
+	}
+}
+
+// renderRun serialises a run for byte comparison: canonical Result JSON
+// plus the telemetry JSONL stream (empty when telemetry is off).
+func renderRun(t *testing.T, res *Result) ([]byte, []byte) {
+	t.Helper()
+	js, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tele bytes.Buffer
+	if res.Telemetry != nil {
+		if err := res.Telemetry.WriteJSONL(&tele); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return js, tele.Bytes()
+}
+
+// TestArenaVsFreshByteIdentical is the acceptance contract of arena
+// reuse: every cell of the standard experiment matrix, executed through
+// one shared SystemArena in sequence, produces byte-identical Result
+// JSON and telemetry to a freshly constructed machine. Run under -race
+// in CI (make arena-smoke). Mid-sequence the arena also absorbs an
+// aborted (cancelled) run, so reset-after-abort is covered too.
+func TestArenaVsFreshByteIdentical(t *testing.T) {
+	cells := arenaMatrix(t)
+	arena := &SystemArena{}
+	sawTelemetry := false
+	for i, cell := range cells {
+		fresh, err := Run(cell.cfg, cell.specs, cell.scheme)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", cell.name, err)
+		}
+		wantJS, wantTele := renderRun(t, fresh)
+
+		reused, err := arena.RunContext(context.Background(), cell.cfg, cell.specs, cell.scheme)
+		if err != nil {
+			t.Fatalf("%s: arena run: %v", cell.name, err)
+		}
+		gotJS, gotTele := renderRun(t, reused)
+
+		if !bytes.Equal(gotJS, wantJS) {
+			t.Errorf("%s: arena Result JSON diverged from fresh\n got: %s\nwant: %s", cell.name, gotJS, wantJS)
+		}
+		if !bytes.Equal(gotTele, wantTele) {
+			t.Errorf("%s: arena telemetry diverged from fresh", cell.name)
+		}
+		if cell.cfg.TelemetryEvery > 0 {
+			sawTelemetry = true
+			if len(gotTele) == 0 {
+				t.Errorf("%s: telemetry enabled but no epochs exported", cell.name)
+			}
+		}
+
+		// Halfway through, abort a run mid-flight: the next cells then
+		// reuse a machine whose previous run never quiesced.
+		if i == len(cells)/2 {
+			cancelled, cancel := context.WithCancel(context.Background())
+			cancel()
+			abortCfg := cell.cfg
+			abortCfg.Instructions = 5_000_000
+			abortCfg.MaxCycles = 0
+			if _, err := arena.RunContext(cancelled, abortCfg, cell.specs, cell.scheme); err == nil {
+				t.Fatal("cancelled arena run returned no error")
+			}
+		}
+	}
+	if !sawTelemetry {
+		t.Fatal("matrix exercised no telemetry cell")
+	}
+	if arena.Reuses == 0 {
+		t.Fatal("matrix never reused the arena machine")
+	}
+	if arena.Builds < 3 {
+		t.Fatalf("matrix shape flips built only %d machines, want >= 3", arena.Builds)
+	}
+	if int(arena.Builds+arena.Reuses) < len(cells) {
+		t.Fatalf("builds(%d)+reuses(%d) < %d cells", arena.Builds, arena.Reuses, len(cells))
+	}
+}
+
+// TestArenaClusteredReuse: clustered configurations run on the sharded
+// engine with the arena supplying the per-cluster fleet. Repeat runs —
+// including at a different worker count — must reuse every cluster
+// machine and stay byte-identical to fresh construction.
+func TestArenaClusteredReuse(t *testing.T) {
+	cfg, specs := scale16TestConfig(t, 20_000)
+	fresh, err := Run(cfg, specs, SchemeProFess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := renderRun(t, fresh)
+
+	arena := &SystemArena{}
+	for round := 0; round < 3; round++ {
+		c := cfg
+		if round == 2 {
+			c.Shards = 2 // worker count is a pure speed knob, even on reused machines
+		}
+		res, err := arena.RunContext(context.Background(), c, specs, SchemeProFess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ClusterDone) != cfg.Clusters {
+			t.Fatalf("round %d lost ClusterDone: %d entries, want %d", round, len(res.ClusterDone), cfg.Clusters)
+		}
+		gotJS, _ := renderRun(t, res)
+		if !bytes.Equal(gotJS, wantJS) {
+			t.Errorf("round %d: arena clustered Result diverged from fresh\n got: %s\nwant: %s", round, gotJS, wantJS)
+		}
+	}
+	if arena.Builds != int64(cfg.Clusters) {
+		t.Errorf("built %d cluster machines, want %d", arena.Builds, cfg.Clusters)
+	}
+	if arena.Reuses != int64(2*cfg.Clusters) {
+		t.Errorf("reused %d cluster machines, want %d", arena.Reuses, 2*cfg.Clusters)
+	}
+}
+
+// TestArenaErrorDropsMachine: a reset that fails (here: footprints that
+// exhaust physical pages) surfaces its error and evicts the cached
+// machine instead of leaving a half-rewound one for the next cell.
+func TestArenaErrorDropsMachine(t *testing.T) {
+	cfg := SingleCoreConfig(PaperScale)
+	cfg.Instructions = 30_000
+	spec, err := SpecForProgram("lbm", PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := &SystemArena{}
+	if _, err := arena.RunContext(context.Background(), cfg, []ProgramSpec{spec}, SchemeProFess); err != nil {
+		t.Fatal(err)
+	}
+
+	huge := spec
+	huge.Params.Footprint = cfg.M1Capacity * int64(cfg.M2Slots) * 4
+	if _, err := arena.RunContext(context.Background(), cfg, []ProgramSpec{huge}, SchemeProFess); err == nil {
+		t.Fatal("oversized footprint ran")
+	}
+
+	// The arena recovers: the next well-formed cell rebuilds and matches
+	// a fresh machine.
+	fresh, err := Run(cfg, []ProgramSpec{spec}, SchemeProFess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _ := renderRun(t, fresh)
+	res, err := arena.RunContext(context.Background(), cfg, []ProgramSpec{spec}, SchemeProFess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJS, _ := renderRun(t, res)
+	if !bytes.Equal(gotJS, wantJS) {
+		t.Errorf("post-error arena run diverged from fresh\n got: %s\nwant: %s", gotJS, wantJS)
+	}
+}

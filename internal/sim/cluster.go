@@ -69,8 +69,12 @@ type clusterState struct {
 
 // runClustered executes a Clusters > 1 configuration on the shard engine.
 // Results are a deterministic merge of the per-cluster results and are
-// byte-identical for every Shards value.
-func runClustered(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
+// byte-identical for every Shards value. A non-nil arena supplies (and
+// keeps) the per-cluster machines: cluster construction happens on this
+// goroutine before the shard workers start and the workers all join
+// before this function returns, so arena custody never overlaps a
+// running fleet.
+func runClustered(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme, arena *SystemArena) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,7 +92,7 @@ func runClustered(ctx context.Context, cfg Config, specs []ProgramSpec, scheme S
 		if err != nil {
 			return nil, err
 		}
-		sys, err := NewSystem(sub, specs[k*per:(k+1)*per], policy)
+		sys, err := arena.clusterMachine(k, n, sub, specs[k*per:(k+1)*per], policy)
 		if err != nil {
 			return nil, fmt.Errorf("sim: cluster %d: %w", k, err)
 		}

@@ -283,18 +283,40 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 	}
 
 	sys := &System{Cfg: cfg, Queue: q, Ctl: ctl, Alloc: alloc, L3: l3, Front: front, Policy: policy, Inj: inj, specs: specs}
-	for i, spec := range specs {
+	if err := sys.buildCores(); err != nil {
+		return nil, err
+	}
+	if err := sys.wireTelemetry(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// buildCores materialises the per-program cores: one address space per
+// program (allocated from s.Alloc), one trace generator per thread, one
+// cpu core per thread. It assumes s.Alloc holds every frame free — a
+// freshly built or freshly Reset allocator — and is shared by NewSystem
+// and the arena's in-place reset, so both construct the exact same cores
+// for the same (cfg, specs, seed).
+func (s *System) buildCores() error {
+	layout := s.Ctl.Layout()
+	for i := range s.Cores {
+		s.Cores[i] = nil
+	}
+	s.Cores = s.Cores[:0]
+	s.coreProg = s.coreProg[:0]
+	for i, spec := range s.specs {
 		if spec.Source != nil {
 			if spec.threads() > 1 {
-				return nil, fmt.Errorf("sim: %s: a replay Source cannot drive multiple threads", spec.Name)
+				return fmt.Errorf("sim: %s: a replay Source cannot drive multiple threads", spec.Name)
 			}
 			spec.Params.Footprint = spec.Source.Footprint()
 		}
 		// One address space per program, shared by its threads.
 		vpages := spec.Params.Footprint / layout.PageBytes
-		vmap, err := alloc.Alloc(i, vpages)
+		vmap, err := s.Alloc.Alloc(i, vpages)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for th := 0; th < spec.threads(); th++ {
 			var gen trace.Source
@@ -307,60 +329,68 @@ func NewSystem(cfg Config, specs []ProgramSpec, policy hybrid.Policy) (*System, 
 				}
 				g, err := trace.NewGenerator(params)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				gen = g
 			}
 			// The cpu core carries the PROGRAM index: every downstream
 			// counter (controller stats, RSM, MDM, L3 attribution) sees
 			// the threads as one program (§3.1.1).
-			c, err := cpu.New(i, cfg.CoreCfg, gen, vmap, layout.PageBytes, cfg.Instructions, front, q)
+			c, err := cpu.New(i, s.Cfg.CoreCfg, gen, vmap, layout.PageBytes, s.Cfg.Instructions, s.Front, s.Queue)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sys.Cores = append(sys.Cores, c)
-			sys.coreProg = append(sys.coreProg, i)
+			s.Cores = append(s.Cores, c)
+			s.coreProg = append(s.coreProg, i)
 		}
 	}
+	return nil
+}
 
-	// Telemetry: only a positive epoch builds a sampler, so the default
-	// configuration schedules no events and stays bit- and cycle-identical
-	// to a build without the subsystem. Sampling itself never mutates
-	// simulated state, so even a telemetry-on run produces the same Result.
-	if cfg.TelemetryEvery > 0 {
-		tel, err := telemetry.New(telemetry.Config{Every: cfg.TelemetryEvery, Capacity: cfg.TelemetryCapacity})
-		if err != nil {
-			return nil, err
-		}
-		for i, spec := range specs {
-			i, name := i, spec.Name
-			var prevInstr, prevCycle int64
-			tel.Gauge(fmt.Sprintf("p%d.%s.ipc", i, name), func(now int64) float64 {
-				var instr int64
-				for ci, c := range sys.Cores {
-					if sys.coreProg[ci] == i {
-						instr += c.Instructions()
-					}
-				}
-				dI, dC := instr-prevInstr, now-prevCycle
-				prevInstr, prevCycle = instr, now
-				if dC <= 0 {
-					return 0
-				}
-				return float64(dI) / float64(dC)
-			})
-		}
-		ctl.RegisterTelemetry(tel)
-		for ci, ch := range chans {
-			ch.RegisterTelemetry(tel, fmt.Sprintf("chan%d", ci))
-		}
-		if tp, ok := policy.(interface{ RegisterTelemetry(*telemetry.Sampler) }); ok {
-			tp.RegisterTelemetry(tel)
-		}
-		tel.Start(q)
-		sys.Telemetry = tel
+// wireTelemetry builds and starts the per-epoch sampler when
+// Cfg.TelemetryEvery > 0. Only a positive epoch builds a sampler, so the
+// default configuration schedules no events and stays bit- and
+// cycle-identical to a build without the subsystem. Sampling itself never
+// mutates simulated state, so even a telemetry-on run produces the same
+// Result. The sampler is always freshly built — it escapes through
+// Result.Telemetry, so it can never be pooled with the machine.
+func (s *System) wireTelemetry() error {
+	s.Telemetry = nil
+	if s.Cfg.TelemetryEvery <= 0 {
+		return nil
 	}
-	return sys, nil
+	tel, err := telemetry.New(telemetry.Config{Every: s.Cfg.TelemetryEvery, Capacity: s.Cfg.TelemetryCapacity})
+	if err != nil {
+		return err
+	}
+	for i, spec := range s.specs {
+		i, name := i, spec.Name
+		var prevInstr, prevCycle int64
+		tel.Gauge(fmt.Sprintf("p%d.%s.ipc", i, name), func(now int64) float64 {
+			var instr int64
+			for ci, c := range s.Cores {
+				if s.coreProg[ci] == i {
+					instr += c.Instructions()
+				}
+			}
+			dI, dC := instr-prevInstr, now-prevCycle
+			prevInstr, prevCycle = instr, now
+			if dC <= 0 {
+				return 0
+			}
+			return float64(dI) / float64(dC)
+		})
+	}
+	s.Ctl.RegisterTelemetry(tel)
+	for ci, ch := range s.Ctl.Channels() {
+		ch.RegisterTelemetry(tel, fmt.Sprintf("chan%d", ci))
+	}
+	if tp, ok := s.Policy.(interface{ RegisterTelemetry(*telemetry.Sampler) }); ok {
+		tp.RegisterTelemetry(tel)
+	}
+	tel.Start(s.Queue)
+	s.Telemetry = tel
+	return nil
 }
 
 // watchdogCheckEvents is how often (in processed events) RunContext polls
@@ -556,7 +586,7 @@ func Run(cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 // byte-identical for every shard count.
 func RunContext(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
 	if cfg.Clusters > 1 {
-		return runClustered(ctx, cfg, specs, scheme)
+		return runClustered(ctx, cfg, specs, scheme, nil)
 	}
 	policy, err := NewPolicy(scheme, len(specs), cfg.Scale)
 	if err != nil {

@@ -209,6 +209,14 @@ func NewHistogram(n int, lo, width float64) *Histogram {
 	return &Histogram{Buckets: make([]int64, n), Width: width, Lo: lo}
 }
 
+// Reset zeroes every bucket and counter, returning the histogram to its
+// just-built state without reallocating the bucket array.
+func (h *Histogram) Reset() {
+	clear(h.Buckets)
+	h.Over, h.Under, h.Count = 0, 0, 0
+	h.Sum = 0
+}
+
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.Count++

@@ -133,8 +133,11 @@ func Workloads() []Workload { return workload.Workloads() }
 // runs within one process are memoised. See SetRunCaching to opt out.
 // The context's deadline/cancellation is polled inside the event loop,
 // so an in-flight simulation aborts within one watchdog epoch.
+// Simulations execute through a reusable simulation-state arena (see
+// arena.go); SetArenaReuse(false) restores per-run construction.
 func runSimUncached(ctx context.Context, cfg Config, specs []ProgramSpec, scheme Scheme) (*Result, error) {
-	return sim.RunContext(ctx, cfg, specs, scheme)
+	theRunCache.sims.Add(1)
+	return runArena(ctx, cfg, specs, scheme)
 }
 
 // RunProgram runs one named Table 9 program under the given scheme.

@@ -203,7 +203,10 @@ func (c *runCache) cachedRun(key string, run func() (*Result, error)) (*Result, 
 	case fromDisk:
 		c.diskHits.Add(1)
 	case simulated:
-		c.sims.Add(1)
+		// The sim itself was counted in runSimUncached, which also covers
+		// uncacheable runs (telemetry, trace sources, caching disabled) —
+		// Sims means "simulations that actually executed", not "cache
+		// misses".
 	}
 	if e.err != nil {
 		c.mu.Lock()

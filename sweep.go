@@ -770,22 +770,23 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 	}
 
 	// runCell performs one attempt, with panic containment matching
-	// parallelFor's.
-	runCell := func(i int) (err error) {
+	// parallelFor's. wctx is the worker's context, carrying its private
+	// simulation-state arena (see withWorkerArena).
+	runCell := func(wctx context.Context, i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("cell %d panicked: %v\n%s", i, r, debug.Stack())
 			}
 		}()
 		c := &p.Cells[i]
-		if _, err := runSimCtx(ctx, c.Cfg, c.Specs, c.Scheme); err != nil {
+		if _, err := runSimCtx(wctx, c.Cfg, c.Specs, c.Scheme); err != nil {
 			return fmt.Errorf("cell %s/%s: %w", c.Scheme, c.Key[:12], err)
 		}
 		return nil
 	}
 
 	// attemptCell drives one claimed cell through its bounded retries.
-	attemptCell := func(i int) {
+	attemptCell := func(wctx context.Context, i int) {
 		var l *lease.Lease
 		if mgr != nil {
 			var err error
@@ -835,7 +836,7 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 			}
 			first = false
 			journal(i, lease.StatusClaimed, attempt, nil)
-			err := runCell(i)
+			err := runCell(wctx, i)
 			if err == nil {
 				journal(i, lease.StatusDone, attempt, nil)
 				st.set(i, cellDone, nil)
@@ -865,6 +866,10 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulation-state arena per worker goroutine: cells this
+			// worker executes reuse one cached machine per structural
+			// shape, with no cross-worker synchronisation.
+			wctx := withWorkerArena(ctx)
 			for {
 				// The cancellation check precedes the claim, so a
 				// cancelled worker never marks a cell running (or
@@ -886,7 +891,7 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 					poll()
 					continue
 				}
-				attemptCell(i)
+				attemptCell(wctx, i)
 			}
 		}()
 	}
