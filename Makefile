@@ -10,7 +10,7 @@ COVER_MIN ?= 70
 # How long each fuzz target runs in `make fuzz-smoke`.
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke shard-smoke shard-bench arena-smoke quick cover fuzz-smoke
+.PHONY: check vet build test test-race bench bench-json bench-smoke sweep-bench sweep-smoke chaos-smoke xval-smoke shard-smoke shard-bench arena-smoke sample-smoke sample-bench quick cover fuzz-smoke
 
 # Minimum statement coverage (percent) for internal/analytic, enforced by
 # `make xval-smoke`: the closed-form tier is only trustworthy while its
@@ -188,6 +188,49 @@ arena-smoke:
 		printf "arena-off: %d allocs / %d cells = %.0f allocs/cell\n", allocs, sims, allocs / sims }' bin/arena-off.txt
 	@printf "gc cycles: arena-on %s, arena-off %s\n" \
 		"$$(grep -c '^gc ' bin/arena-on.gc || true)" "$$(grep -c '^gc ' bin/arena-off.gc || true)"
+
+# sample-smoke is the CI guard for the sampled-simulation tier (interval
+# sampling with functional fast-forward). Under the race detector it runs
+# the exactness contracts — fraction 1.0 byte-identical to the full run
+# across schemes/seeds/faults, sampled-run determinism, the
+# error-shrinks-with-fraction property, the validation rejections and the
+# run-key normalisation guard — then enforces the committed
+# accuracy/speedup envelope (testdata/sample_envelope.json) at standard
+# scale, and finally drives a real professbench sweep with -sample: every
+# eligible cell must be rewritten to the sampled tier and served back
+# under its full-fidelity key.
+SAMPLE_EXPS ?= fig10
+SAMPLE_INSTR ?= 2000000
+SAMPLE_WORKLOADS ?= w09,w16
+sample-smoke:
+	$(GO) test -race -count=1 -run 'TestSampled|TestSamplingValidation' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestRunKeySamplingNormalised|TestSweepPlanSample' .
+	$(GO) test -count=1 -timeout 30m -run 'TestSampleEnvelope|TestSampleValReportRendering' .
+	$(GO) build -o bin/professbench ./cmd/professbench
+	bin/professbench -exp $(SAMPLE_EXPS) -instr $(SAMPLE_INSTR) -workloads $(SAMPLE_WORKLOADS) \
+		-cachedir off -sample 0.25 > bin/sample-sweep.out 2> bin/sample-sweep.err
+	@grep -E 'sample: [1-9][0-9]* of [0-9]+ cells rewritten' bin/sample-sweep.err || \
+		{ echo "sampled sweep rewrote no cells"; cat bin/sample-sweep.err; exit 1; }
+	@grep -E '[1-9][0-9]* cells served by their sampled runs' bin/sample-sweep.err || \
+		{ echo "sampled sweep served no full-fidelity keys"; cat bin/sample-sweep.err; exit 1; }
+	@echo "sample smoke: sampled sweep rewrote and served its cells"
+
+# sample-bench records the fidelity ladder's wall-clock trajectory into
+# $(BENCH_FILE) — committed for PR10 as BENCH_PR10.json: the standard
+# multi-program sweep cold at full fidelity, then cold again on the
+# sampled tier at $(SAMPLE_FRACTION). The ns/op ratio of the two total
+# lines is the sweep speedup the envelope's floor tracks.
+SAMPLE_FRACTION ?= 0.05
+SAMPLE_BENCH_EXPS ?= fig10
+sample-bench:
+	$(GO) build -o bin/professbench ./cmd/professbench
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	bin/professbench -exp $(SAMPLE_BENCH_EXPS) -instr 0 -cachedir off \
+		-benchout bin/sample-full.txt > /dev/null
+	bin/benchjson -label sweep-full-fidelity -o $(BENCH_FILE) < bin/sample-full.txt
+	bin/professbench -exp $(SAMPLE_BENCH_EXPS) -instr 0 -cachedir off -sample $(SAMPLE_FRACTION) \
+		-benchout bin/sample-sampled.txt > /dev/null
+	bin/benchjson -label sweep-sampled -o $(BENCH_FILE) < bin/sample-sampled.txt
 
 # xval-smoke is the CI guard for the analytic fast tier: the committed
 # cross-validation error envelope and the sweep-pruning safety audit

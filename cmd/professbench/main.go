@@ -25,6 +25,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // -debug: profiling endpoints on the debug server
 	"os"
@@ -47,7 +48,9 @@ type experiment struct {
 	run       func(opts profess.ExpOptions) (fmt.Stringer, error)
 }
 
-func experiments() []experiment {
+// experiments binds the id table. sampleFr/sampleWin carry the -sample
+// flags into the drivers that need them (0 means their defaults).
+func experiments(sampleFr float64, sampleWin int64) []experiment {
 	singleBoth := func(opts profess.ExpOptions) (fmt.Stringer, error) {
 		return profess.RunSinglePrograms([]profess.Scheme{profess.SchemePoM, profess.SchemeMDM}, opts)
 	}
@@ -127,6 +130,15 @@ func experiments() []experiment {
 		{"scale16", "shard scaling curve on the 16-program fleet (timing-honest; ignores -shards and sweeps 1,2,4,8)", false, func(opts profess.ExpOptions) (fmt.Stringer, error) {
 			return profess.RunScale16(profess.SchemeProFess, nil, opts)
 		}},
+		// sample times real runs too (full vs sampled, both uncached):
+		// unplannable by design.
+		{"sample", "sampled tier vs full fidelity: per-workload IPC error and speedup (timing-honest; fraction from -sample, default 0.05)", false, func(opts profess.ExpOptions) (fmt.Stringer, error) {
+			fr := sampleFr
+			if fr <= 0 || fr >= 1 {
+				fr = 0.05
+			}
+			return profess.RunSampleValidation(fr, sampleWin, []profess.Scheme{profess.SchemeProFess}, opts)
+		}},
 	}
 }
 
@@ -187,8 +199,23 @@ func main() {
 		prune    = flag.Bool("prune", false, "prune planned cells whose scheme the analytic fast tier cannot distinguish from a representative; pruned cells render from the representative's result")
 		prunemgn = flag.Float64("prunemargin", profess.DefaultPruneMargin, "analytic indistinguishability margin for -prune (see EXPERIMENTS.md before raising it)")
 		noarena  = flag.Bool("noarena", false, "disable simulation-state arena reuse (every cell constructs a fresh machine; results are byte-identical either way)")
+		sampleFr = flag.Float64("sample", 0, "run planned cells on the interval-sampling tier with this detailed fraction in (0,1); IPC becomes an estimate within the committed envelope (see EXPERIMENTS.md fidelity ladder). 0 = full fidelity")
+		samplewn = flag.Int64("samplewindow", 0, "detailed-window length in cycles for -sample (0 = the config default)")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
+
+	if *sampleFr != 0 && !(*sampleFr > 0 && *sampleFr < 1) {
+		fmt.Fprintf(os.Stderr, "professbench: -sample %v outside (0, 1)\n", *sampleFr)
+		os.Exit(2)
+	}
+	if *sampleFr > 0 && (*nocache || *noplan) {
+		// The sampled tier reaches the experiments through the plan's cell
+		// rewrite; without the plan phase nothing would be rewritten and
+		// the flag would silently do nothing.
+		fmt.Fprintf(os.Stderr, "professbench: -sample needs the plan phase; drop -nocache/-noplan\n")
+		os.Exit(2)
+	}
 
 	if *noarena {
 		profess.SetArenaReuse(false)
@@ -221,7 +248,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "professbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", *debug)
 	}
 
-	exps := experiments()
+	exps := experiments(*sampleFr, *samplewn)
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, e := range exps {
@@ -319,6 +346,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "professbench: prune: %d of %d cells aliased to analytic-equivalent representatives (%.1f%% at margin %.2f)\n",
 				len(dropped), requested, pct, *prunemgn)
 		}
+		if *sampleFr > 0 {
+			rewrote := plan.Sample(*sampleFr, *samplewn)
+			fmt.Fprintf(os.Stderr, "professbench: sample: %d of %d cells rewritten to the sampled tier (fraction %g)\n",
+				len(rewrote), len(plan.Cells), *sampleFr)
+		}
 		expvarCurrent.Set("execute")
 		rep, err := plan.ExecuteOpts(ctx, profess.ExecOptions{Parallelism: *par, Fresh: !*resume})
 		if errors.Is(err, context.Canceled) {
@@ -335,6 +367,9 @@ func main() {
 			d.Sims, d.DiskHits, d.MemHits, time.Since(start).Seconds())
 		if rep.Pruned > 0 {
 			fmt.Fprintf(os.Stderr, "professbench: execute: %d pruned cells served by their representatives\n", rep.Pruned)
+		}
+		if rep.Sampled > 0 {
+			fmt.Fprintf(os.Stderr, "professbench: execute: %d cells served by their sampled runs\n", rep.Sampled)
 		}
 		if rep.Resumed > 0 || rep.External > 0 || rep.Stolen > 0 || rep.Retries > 0 {
 			fmt.Fprintf(os.Stderr, "professbench: execute: %d resumed from journal, %d by other workers, %d leases taken over, %d retries\n",
@@ -379,6 +414,63 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// groupedUsage replaces flag.PrintDefaults with labelled sections: the
+// flag set has grown past a dozen entries across the caching, sharding,
+// pruning and sampling work, and an alphabetical wall hides which knobs
+// trade speed for fidelity and which are free. Flags not named in a group
+// (future additions) fall through to a trailing section rather than
+// disappearing.
+func groupedUsage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "Usage: professbench -exp <ids> [options]\n")
+	groups := []struct {
+		title string
+		names []string
+	}{
+		{"Experiment selection", []string{"exp", "list", "workloads", "programs"}},
+		{"Simulation scale", []string{"instr", "scale"}},
+		{"Fidelity dials (trade exactness for speed; results change)", []string{"sample", "samplewindow", "prune", "prunemargin"}},
+		{"Execution (pure speed knobs; results are byte-identical)", []string{"parallel", "shards", "noarena"}},
+		{"Caching & durability", []string{"cachedir", "nocache", "noplan", "resume"}},
+		{"Output & diagnostics", []string{"csv", "benchout", "debug"}},
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		fmt.Fprintf(out, "\n%s:\n", g.title)
+		for _, n := range g.names {
+			if f := flag.Lookup(n); f != nil {
+				seen[n] = true
+				printFlag(out, f)
+			}
+		}
+	}
+	first := true
+	flag.VisitAll(func(f *flag.Flag) {
+		if seen[f.Name] {
+			return
+		}
+		if first {
+			fmt.Fprintf(out, "\nOther:\n")
+			first = false
+		}
+		printFlag(out, f)
+	})
+}
+
+func printFlag(out io.Writer, f *flag.Flag) {
+	typ, usage := flag.UnquoteUsage(f)
+	if typ != "" {
+		fmt.Fprintf(out, "  -%s %s\n", f.Name, typ)
+	} else {
+		fmt.Fprintf(out, "  -%s\n", f.Name)
+	}
+	fmt.Fprintf(out, "        %s", usage)
+	if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+		fmt.Fprintf(out, " (default %v)", f.DefValue)
+	}
+	fmt.Fprintln(out)
 }
 
 // writeBenchout emits the per-experiment wall times, cache-counter and

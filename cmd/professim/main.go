@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,7 +57,10 @@ func main() {
 		nocache  = flag.Bool("nocache", false, "disable the run cache entirely (identical runs re-simulate; no disk tier)")
 		cachedir = flag.String("cachedir", profess.DefaultRunCacheDir(), "persistent run-cache directory ('' or 'off' disables the disk tier)")
 		noarena  = flag.Bool("noarena", false, "disable simulation-state arena reuse (every run constructs a fresh machine; results are byte-identical either way)")
+		sample   = flag.Float64("sample", 0, "run on the interval-sampling tier with this detailed fraction in (0,1); IPC becomes an estimate reported with a 95% confidence interval. 0 = full fidelity, >= 1 = full fidelity via the sampling path")
+		samplewn = flag.Int64("samplewindow", 0, "detailed-window length in cycles for -sample (0 = the config default)")
 	)
+	flag.Usage = groupedUsage
 	flag.Parse()
 
 	if *noarena {
@@ -107,6 +111,10 @@ func main() {
 		cfg.Shards = *shards
 		cfg.M2TWRFactor = *twr
 		cfg.Faults = plan
+		// Sampling on a clustered preset is rejected by Config.Validate
+		// with an actionable message; set it anyway and let the run say so.
+		cfg.SampleFraction = *sample
+		cfg.SampleWindow = *samplewn
 		if *telePath != "" {
 			cfg.TelemetryEvery = *epoch
 		}
@@ -129,6 +137,8 @@ func main() {
 		cfg = cfg.WithM1Ratio(*ratio)
 	}
 	cfg.Faults = plan
+	cfg.SampleFraction = *sample
+	cfg.SampleWindow = *samplewn
 	if *telePath != "" {
 		cfg.TelemetryEvery = *epoch
 	}
@@ -231,6 +241,7 @@ func runSingle(program string, schemes []profess.Scheme, cfg profess.Config, thr
 			program, cfg.Instructions, threads, cfg.Scale, t.String())
 		for _, s := range schemes {
 			if res := results[s]; res != nil {
+				printSampleInfo(string(s), res)
 				printNVMWear(string(s), res)
 				printResilience(string(s), res)
 			}
@@ -294,6 +305,7 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 			}
 			fmt.Printf("scheme %s: swapFrac=%.4f stcHit=%.3f energyEff=%.3g\n%s\n",
 				s, res.SwapFraction, res.STCHitRate, res.EnergyEff, t.String())
+			printSampleInfo(string(s), res)
 			printNVMWear(string(s), res)
 			printResilience(string(s), res)
 			continue
@@ -309,9 +321,26 @@ func runWorkload(name string, schemes []profess.Scheme, cfg profess.Config, base
 		}
 		fmt.Printf("scheme %s: weighted speedup=%.3f  max slowdown=%.3f  swap frac=%.4f  energy eff=%.3g\n%s\n",
 			s, wr.WeightedSpeedup, wr.MaxSlowdown, wr.Result.SwapFraction, wr.Result.EnergyEff, t.String())
+		printSampleInfo(string(s), wr.Result)
 		printNVMWear(string(s), wr.Result)
 		printResilience(string(s), wr.Result)
 	}
+}
+
+// printSampleInfo reports the sampling parameters and the per-program IPC
+// confidence intervals when the run executed on the interval-sampling
+// tier. Full-fidelity runs print nothing.
+func printSampleInfo(scheme string, res *profess.Result) {
+	sp := res.Sampling
+	if sp.Windows == 0 {
+		return
+	}
+	fmt.Printf("sampling %s: fraction=%.3g window=%d cycles, %d detailed windows; IPC ±95%%:",
+		scheme, sp.Fraction, sp.Window, sp.Windows)
+	for _, c := range res.PerCore {
+		fmt.Printf(" %s=%.4f±%.4f", c.Program, c.IPC, c.IPCCI95)
+	}
+	fmt.Println()
 }
 
 // printNVMWear reports M2 write wear and the projected device lifetime
@@ -355,6 +384,64 @@ func printCatalog() {
 	for _, s := range profess.Schemes() {
 		fmt.Printf("  %s\n", s)
 	}
+}
+
+// groupedUsage replaces flag.PrintDefaults with labelled sections — the
+// flag set spans run selection, fidelity, fault injection, caching and
+// execution concerns, and an alphabetical wall hides which knobs change
+// results and which are free. Ungrouped future flags fall through to a
+// trailing section.
+func groupedUsage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "Usage: professim (-program <p> | -workload <w> | -preset <name>) [options]\n")
+	groups := []struct {
+		title string
+		names []string
+	}{
+		{"Run selection", []string{"program", "workload", "preset", "list"}},
+		{"Schemes", []string{"scheme", "schemes", "baselines"}},
+		{"System & scale", []string{"instr", "scale", "ratio", "twr", "threads"}},
+		{"Fidelity dial (trade exactness for speed; results change)", []string{"sample", "samplewindow"}},
+		{"Fault injection & telemetry", []string{"faults", "telemetry", "epoch"}},
+		{"Execution (pure speed knobs; results are byte-identical)", []string{"shards", "noarena"}},
+		{"Caching", []string{"cachedir", "nocache"}},
+		{"Output", []string{"json"}},
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		fmt.Fprintf(out, "\n%s:\n", g.title)
+		for _, n := range g.names {
+			if f := flag.Lookup(n); f != nil {
+				seen[n] = true
+				printFlag(out, f)
+			}
+		}
+	}
+	first := true
+	flag.VisitAll(func(f *flag.Flag) {
+		if seen[f.Name] {
+			return
+		}
+		if first {
+			fmt.Fprintf(out, "\nOther:\n")
+			first = false
+		}
+		printFlag(out, f)
+	})
+}
+
+func printFlag(out io.Writer, f *flag.Flag) {
+	typ, usage := flag.UnquoteUsage(f)
+	if typ != "" {
+		fmt.Fprintf(out, "  -%s %s\n", f.Name, typ)
+	} else {
+		fmt.Fprintf(out, "  -%s\n", f.Name)
+	}
+	fmt.Fprintf(out, "        %s", usage)
+	if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+		fmt.Fprintf(out, " (default %v)", f.DefValue)
+	}
+	fmt.Fprintln(out)
 }
 
 func fatal(err error) {

@@ -1,0 +1,25 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessMissHeavy(b *testing.B) {
+	c := New(ConfigForCapacity(1<<20, 16))
+	s := uint64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		addr := int64(s>>20) % (64 << 20)
+		c.Access(addr, s&7 == 0)
+	}
+}
+
+func BenchmarkAccessHitHeavy(b *testing.B) {
+	c := New(ConfigForCapacity(1<<20, 16))
+	s := uint64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		addr := int64(s>>20) % (1 << 19)
+		c.Access(addr, s&7 == 0)
+	}
+}

@@ -29,17 +29,40 @@ func ConfigForCapacity(capacity int64, ways int) Config {
 	return c
 }
 
-type line struct {
-	tag   int64
-	valid bool
-	dirty bool
-	lru   int64 // larger = more recently used
+// invalidTag marks an empty way. Byte addresses are non-negative, so real
+// tags are too and can never match it.
+const invalidTag int64 = -1
+
+// mru is the per-set most-recently-used memo: the way index the set's last
+// hit landed in, plus the tag it held. Re-referencing the same line — the
+// overwhelmingly common pattern under spatial locality — then skips the
+// associative way scan entirely. Purely an accelerator: it caches a (tag,
+// way) pair the line state also holds, so behaviour is identical with or
+// without it.
+type mru struct {
+	tag int64
+	way int32
+	ok  bool
+}
+
+// way is one line's scan state: its tag and LRU stamp, kept adjacent so
+// the associative scan walks one contiguous 16-byte-per-way stream.
+type way struct {
+	tag int64 // invalidTag = empty way
+	lru int64 // larger = more recent
 }
 
 // Cache is a single-level cache model. Not safe for concurrent use.
+//
+// Line state is stored as a set-major (tag, lru) array plus a per-set
+// dirty bitmask — half the bytes per way of a naive line struct — because
+// the simulator's L3 lookup is hot enough on both the event-driven and the
+// fast-forward path for the scan footprint to matter.
 type Cache struct {
 	cfg   Config
-	lines []line // Sets*Ways entries, set-major
+	ways  []way    // Sets*Ways entries, set-major
+	dirty []uint64 // one mask per set, bit i = way i is dirty
+	mrus  []mru    // Sets entries, the per-set hit memo
 	clock int64
 
 	// Fast-path indexing: line and set arithmetic reduce to shifts and
@@ -73,12 +96,20 @@ func New(cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.LineBytes <= 0 {
 		panic("cache: invalid config")
 	}
+	if cfg.Ways > 64 {
+		panic("cache: more than 64 ways is unsupported (dirtiness is a per-set bitmask)")
+	}
 	c := &Cache{
 		cfg:       cfg,
-		lines:     make([]line, cfg.Sets*cfg.Ways),
+		ways:      make([]way, cfg.Sets*cfg.Ways),
+		dirty:     make([]uint64, cfg.Sets),
+		mrus:      make([]mru, cfg.Sets),
 		lineShift: log2(cfg.LineBytes),
 		setShift:  log2(int64(cfg.Sets)),
 		setMask:   int64(cfg.Sets) - 1,
+	}
+	for i := range c.ways {
+		c.ways[i].tag = invalidTag
 	}
 	return c
 }
@@ -88,9 +119,13 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Reset invalidates every line and zeroes the LRU clock and hit/miss/
 // writeback counters, returning the cache to its just-built state without
-// reallocating the line array.
+// reallocating the line arrays.
 func (c *Cache) Reset() {
-	clear(c.lines)
+	for i := range c.ways {
+		c.ways[i] = way{tag: invalidTag}
+	}
+	clear(c.dirty)
+	clear(c.mrus)
 	c.clock = 0
 	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
 }
@@ -119,47 +154,71 @@ func (c *Cache) index(addr int64) (int, int64) {
 // victim's address). Write hits and write allocations mark the line dirty.
 func (c *Cache) Access(addr int64, write bool) (hit bool, ev Eviction, evicted bool) {
 	set, tag := c.index(addr)
-	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	base := set * c.cfg.Ways
 	c.clock++
+	if m := &c.mrus[set]; m.ok && m.tag == tag {
+		c.ways[base+int(m.way)].lru = c.clock
+		if write {
+			c.dirty[set] |= 1 << uint(m.way)
+		}
+		c.Hits++
+		return true, Eviction{}, false
+	}
+	ways := c.ways[base : base+c.cfg.Ways : base+c.cfg.Ways]
+	// One pass finds the matching way and, in case of a miss, the victim:
+	// the first invalid way if any, else the least-recently-used way
+	// (first occurrence on ties).
+	firstInvalid, minIdx := -1, -1
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		t := ways[i].tag
+		if t == tag {
 			ways[i].lru = c.clock
 			if write {
-				ways[i].dirty = true
+				c.dirty[set] |= 1 << uint(i)
 			}
+			c.mrus[set] = mru{tag: tag, way: int32(i), ok: true}
 			c.Hits++
 			return true, Eviction{}, false
 		}
+		if t == invalidTag {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
+		}
+		if minIdx < 0 || ways[i].lru < ways[minIdx].lru {
+			minIdx = i
+		}
 	}
 	c.Misses++
-	// Choose victim: an invalid way if any, else the LRU way.
-	victim := 0
-	for i := range ways {
-		if !ways[i].valid {
-			victim = i
-			break
-		}
-		if ways[i].lru < ways[victim].lru {
-			victim = i
-		}
-	}
-	v := ways[victim]
-	if v.valid {
+	victim := firstInvalid
+	if victim < 0 {
+		victim = minIdx
 		evicted = true
-		ev = Eviction{Addr: c.lineAddrToByte(set, v.tag), Dirty: v.dirty}
-		if v.dirty {
+		ev = Eviction{Addr: c.lineAddrToByte(set, ways[victim].tag), Dirty: c.dirty[set]&(1<<uint(victim)) != 0}
+		if ev.Dirty {
 			c.Writebacks++
 		}
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	vbit := uint64(1) << uint(victim)
+	ways[victim] = way{tag: tag, lru: c.clock}
+	if write {
+		c.dirty[set] |= vbit
+	} else {
+		c.dirty[set] &^= vbit
+	}
+	// Point the memo at the fill: it is the set's MRU line, and this also
+	// retires any memo entry whose tag was just evicted from the set.
+	c.mrus[set] = mru{tag: tag, way: int32(victim), ok: true}
 	return false, ev, evicted
 }
 
 // Probe reports whether addr is resident without touching LRU state.
 func (c *Cache) Probe(addr int64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways] {
-		if w.valid && w.tag == tag {
+	base := set * c.cfg.Ways
+	for _, w := range c.ways[base : base+c.cfg.Ways] {
+		if w.tag == tag {
 			return true
 		}
 	}
@@ -169,11 +228,17 @@ func (c *Cache) Probe(addr int64) bool {
 // Invalidate drops addr's line if resident, returning whether it was dirty.
 func (c *Cache) Invalidate(addr int64) (present, dirty bool) {
 	set, tag := c.index(addr)
-	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	base := set * c.cfg.Ways
+	ways := c.ways[base : base+c.cfg.Ways]
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			d := ways[i].dirty
-			ways[i] = line{}
+		if ways[i].tag == tag {
+			bit := uint64(1) << uint(i)
+			d := c.dirty[set]&bit != 0
+			ways[i].tag = invalidTag
+			c.dirty[set] &^= bit
+			if c.mrus[set].tag == tag {
+				c.mrus[set].ok = false
+			}
 			return true, d
 		}
 	}

@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"profess/internal/event"
 	"profess/internal/trace"
@@ -69,11 +70,21 @@ type Core struct {
 	pending        trace.Ref
 	hasPending     bool
 	stopped        bool
+	parked         bool
 	firstDone      bool
 	FirstRunCycles int64 // cycle the first run completed (0 until then)
 	Repeats        int64 // completed runs
 
 	onFirstDone func(now int64)
+
+	// ff is the functional fast-forward state of the sampled execution
+	// mode: a fractional clock advanced at the calibrated pace (cycles
+	// per instruction measured in the preceding detailed windows).
+	// Untouched outside fast-forward spans.
+	ff struct {
+		clock float64
+		pace  float64
+	}
 }
 
 // New builds a core. vmap maps the program's virtual pages to original
@@ -161,7 +172,7 @@ func (c *Core) translate(vaddr int64) int64 {
 
 // step issues references until blocked on time, dependence or the window.
 func (c *Core) step(now int64) {
-	for !c.stopped {
+	for !c.stopped && !c.parked {
 		if !c.hasPending {
 			if c.runInstr >= c.budget {
 				c.completeRun(now)
@@ -229,6 +240,127 @@ func (c *Core) memDone(done int64, seq int64) {
 		c.waitWindow = false
 		c.step(done)
 	}
+}
+
+// FunctionalMemory charges one memory access without events, returning its
+// latency in cycles — the memory interface of the fast-forward spans.
+type FunctionalMemory func(core int, addr int64, write bool, now int64) int64
+
+// Park freezes the core for a fast-forward span: the event-driven step
+// loop stops issuing (pending step events fire as no-ops) while in-flight
+// memory completions still account normally, so the machine can drain to a
+// quiescent point.
+func (c *Core) Park() { c.parked = true }
+
+// Unpark resumes event-driven execution at the calendar's current time.
+// Stale wait flags from the parked window are cleared — after a drained
+// calendar nothing is outstanding — and a fresh step event re-arms the
+// issue loop.
+func (c *Core) Unpark() {
+	c.parked = false
+	if c.stopped {
+		return
+	}
+	c.waitDep, c.waitWindow = false, false
+	c.lastIssuedDone = true
+	c.sched.Schedule(c.sched.Now(), c, coreEvStep, nil)
+}
+
+// BeginFastForward arms functional execution at time t with the given
+// pace (cycles per instruction, from the detailed windows' measured IPC).
+// The caller must have parked the core and drained the calendar
+// (outstanding == 0).
+func (c *Core) BeginFastForward(t int64, pace float64) {
+	c.ff.clock = float64(t)
+	c.ff.pace = pace
+	if !c.hasPending && !c.stopped {
+		c.ffFetch(t)
+	}
+}
+
+// EndFastForward folds the functional state back for event-driven resume:
+// the frontend frontier catches up to functional time, and every
+// functional reference is treated as complete, so the next detailed
+// window starts from a briefly-drained pipeline (the standard sampling
+// warm-up artifact, absorbed by the window's leading cycles).
+func (c *Core) EndFastForward() {
+	if t := int64(c.ff.clock); c.frontier < t {
+		c.frontier = t
+	}
+	c.lastIssuedDone = true
+}
+
+// FFTime returns the time the core's next functional reference issues:
+// the paced clock after the reference's compute gap. The sampled run loop
+// advances cores in global FFTime order, so the memory system sees the
+// interleaved access stream in time order and channel state (occupancy,
+// open rows, wear) warms from a realistic arrival pattern.
+func (c *Core) FFTime() int64 {
+	return int64(c.ff.clock + c.ff.pace*float64(c.pending.Gap))
+}
+
+// FFStep functionally issues the pending reference through mem and fetches
+// the next one. The instruction/budget accounting is identical to the
+// event-driven issue path; time advances at the calibrated pace — the
+// memory latency returned by mem warms downstream state but does not feed
+// back into the clock, which is what keeps functional time flowing at the
+// rate the detailed windows measured.
+func (c *Core) FFStep(mem FunctionalMemory) {
+	if c.stopped || !c.hasPending {
+		return
+	}
+	issue := c.FFTime()
+	ref := &c.pending
+	c.instr += int64(ref.Gap) + 1
+	c.runInstr += int64(ref.Gap) + 1
+	mem(c.id, c.translate(ref.VAddr), ref.Write, issue)
+	c.ff.clock += c.ff.pace * float64(ref.Gap+1)
+	c.hasPending = false
+	c.ffFetch(issue)
+}
+
+// FFRun issues functional references until the next would issue at or
+// beyond `until`, the run budget completes (*remaining reaches zero), or
+// the core stops. Batching the per-reference loop inside the core lets
+// the span driver pay its core-selection scan once per run instead of
+// once per reference. Returns the issue time of the core's next pending
+// reference (MaxInt64 when the core has stopped) and the number of
+// references issued.
+func (c *Core) FFRun(mem FunctionalMemory, until int64, remaining *int) (int64, int) {
+	n := 0
+	for !c.stopped && c.hasPending {
+		issue := c.FFTime()
+		if issue >= until {
+			return issue, n
+		}
+		ref := &c.pending
+		c.instr += int64(ref.Gap) + 1
+		c.runInstr += int64(ref.Gap) + 1
+		mem(c.id, c.translate(ref.VAddr), ref.Write, issue)
+		c.ff.clock += c.ff.pace * float64(ref.Gap+1)
+		c.hasPending = false
+		c.ffFetch(issue)
+		n++
+		if *remaining <= 0 {
+			return c.FFTime(), n
+		}
+	}
+	return math.MaxInt64, n
+}
+
+// ffFetch pulls the next reference from the generator and handles budget
+// completion — the functional twin of the fetch block in step(). The
+// event-driven frontier arithmetic is deliberately not replayed here;
+// EndFastForward folds time back into the frontier once per span.
+func (c *Core) ffFetch(at int64) {
+	if c.runInstr >= c.budget {
+		c.completeRun(at)
+		if c.stopped {
+			return
+		}
+	}
+	c.pending = c.gen.Next()
+	c.hasPending = true
 }
 
 // completeRun handles reaching the instruction budget: record the first

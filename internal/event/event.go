@@ -328,6 +328,23 @@ func (q *Queue) Reset() {
 	q.now, q.seq, q.n, q.wheelN = 0, 0, 0, 0
 }
 
+// AdvanceTo jumps the clock forward to cycle t without running anything —
+// the fast-forward spans of the sampled execution mode use it to charge a
+// functionally-simulated span in one step. The jump never passes a pending
+// event: with events scheduled before t the clock stops at the earliest
+// one (the caller quiesces the calendar first, so this is the exceptional
+// path), and a jump into the past is ignored. Returns the resulting time.
+func (q *Queue) AdvanceTo(t int64) int64 {
+	if next, ok := q.NextAt(); ok && next < t {
+		t = next
+	}
+	if t > q.now {
+		q.now = t
+		q.migrate()
+	}
+	return q.now
+}
+
 // Empty reports whether no events are pending.
 func (q *Queue) Empty() bool { return q.n == 0 }
 

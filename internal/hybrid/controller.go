@@ -129,6 +129,22 @@ type Controller struct {
 	// runs on every demand access, and int64 divides dominate it otherwise.
 	xl  xlat
 	geo [][2]geoX
+
+	// ffNow is the functional clock while a FunctionalAccess is in
+	// progress (-1 otherwise). It routes the shared eviction and swap
+	// paths onto their event-free variants during fast-forward spans of
+	// the sampled execution mode.
+	ffNow int64
+	// ffSwaps queues swaps the policy requested during a FunctionalAccess;
+	// they commit after the access, mirroring the event path where the
+	// swap trails the access that triggered it.
+	ffSwaps []ffSwap
+}
+
+// ffSwap is one deferred functional swap request.
+type ffSwap struct {
+	group int64
+	slot  int
 }
 
 // shiftOf returns log2(v) when v is a positive power of two, else -1
@@ -312,6 +328,7 @@ func NewController(cfg ControllerConfig, chans []*mem.Channel, alloc *Allocator,
 		swapping:  make([]bool, l.Groups),
 		pendingST: make(map[int64][]*accessOp),
 		Cores:     make([]CoreStats, cfg.NumCores),
+		ffNow:     -1,
 	}
 	for i := 0; i < cfg.NumCores; i++ {
 		c.readHist = append(c.readHist, stats.NewHistogram(256, 0, 64))
@@ -383,6 +400,8 @@ func (c *Controller) Reset(policy Policy) {
 	}
 	c.policy = policy
 	c.inj = nil
+	c.ffNow = -1
+	c.ffSwaps = c.ffSwaps[:0]
 }
 
 // Channels returns the controller's channels.
@@ -705,7 +724,8 @@ func (c *Controller) serve(op *accessOp, e *STCEntry) {
 }
 
 // handleEviction persists QAC updates, feeds MDM statistics, and issues
-// the dirty ST writeback.
+// the dirty ST writeback. During a fast-forward span (ffNow >= 0) the
+// writeback is charged functionally instead of enqueued.
 func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
 	for _, b := range ev.Blocks {
 		qE := QuantizeCount(b.Count)
@@ -722,6 +742,11 @@ func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
 	}
 	if ev.Dirty && c.cfg.ModelSTTraffic {
 		c.STWrites++
+		bank, row := c.geo[chIdx][mem.M1].decompose(c.layout.STLineAddr(ev.Group))
+		if c.ffNow >= 0 {
+			c.chans[chIdx].FunctionalAccess(mem.M1, bank, row, true, c.ffNow)
+			return
+		}
 		var w *stWriteOp
 		if n := len(c.stwFree); n > 0 {
 			w = c.stwFree[n-1]
@@ -729,10 +754,148 @@ func (c *Controller) handleEviction(chIdx int, ev *STCEviction) {
 		} else {
 			w = &stWriteOp{c: c}
 		}
-		bank, row := c.geo[chIdx][mem.M1].decompose(c.layout.STLineAddr(ev.Group))
 		w.req = mem.Request{Module: mem.M1, Bank: bank, Row: row, IsWrite: true, Core: -1, Done: w}
 		c.chans[chIdx].Enqueue(&w.req)
 	}
+}
+
+// FunctionalAccess serves one demand access entirely without events — the
+// fast-forward path of the sampled execution mode. The access runs the
+// same semantic pipeline as Submit: STC lookup (miss → ST line fill charge
+// + install + eviction), QAC bump, per-core counters, policy OnServed /
+// OnAccess, translation through the live permutation, and a channel charge
+// at the translated location — so every piece of state that carries
+// history (STC contents, QACs, policy counters, swap-group residency,
+// wear) keeps warming exactly as it would under the cycle model. Only the
+// timing is approximate: the returned latency is the channel's closed-form
+// occupancy estimate, and swaps requested by the policy commit
+// synchronously after the access. Fault injection for NVM transients and
+// stalls does not run here (those faults fire only inside detailed
+// windows); ST-metadata faults still fire whenever ST lines move.
+func (c *Controller) FunctionalAccess(core int, origAddr int64, write bool, now int64) int64 {
+	c.ffNow = now
+	block := c.xl.block(origAddr)
+	group := c.xl.group(block)
+	slot := c.xl.slot(block)
+	chIdx := c.xl.channel(group)
+	stc := c.stcs[chIdx]
+
+	var fillLat int64
+	e := stc.Lookup(group)
+	if e != nil {
+		c.Cores[core].STCHits++
+	} else {
+		c.Cores[core].STCMisses++
+		if c.cfg.ModelSTTraffic {
+			c.STReads++
+			bank, row := c.geo[chIdx][mem.M1].decompose(c.layout.STLineAddr(group))
+			fillLat = c.chans[chIdx].FunctionalAccess(mem.M1, bank, row, false, now)
+		}
+		qac := c.qacAt(group)
+		if ev := stc.Insert(group, qac); ev != nil {
+			c.handleEviction(chIdx, ev)
+		}
+		e = stc.Peek(group)
+	}
+
+	loc := c.permAt(group, slot)
+	weight := 1
+	if write {
+		weight = c.policy.WriteWeight()
+	}
+	e.Bump(slot, weight)
+
+	region := c.xl.region(group)
+	private := c.alloc.IsPrivate(core, region)
+	fromM1 := loc == 0
+	cs := &c.Cores[core]
+	cs.Served++
+	if fromM1 {
+		cs.ServedM1++
+	}
+	if write {
+		cs.Writes++
+	} else {
+		cs.Reads++
+	}
+	c.policy.OnServed(core, region, private, fromM1)
+	c.policy.OnAccess(AccessInfo{
+		Now:   now,
+		Core:  core,
+		Group: group,
+		Slot:  slot,
+		Loc:   loc,
+		Write: write,
+		Entry: e,
+	}, c)
+
+	location := c.xl.locationOf(group, loc)
+	offset := c.xl.blockOffset(origAddr)
+	bank, row := c.geo[chIdx][location.Module].decompose(location.ByteAddr + offset)
+	// The channel charge warms occupancy, wear and event counts; its
+	// latency estimate is returned to the caller but deliberately kept out
+	// of the per-core read-latency statistics, which report only
+	// cycle-accurate samples from detailed windows.
+	lat := fillLat + c.chans[chIdx].FunctionalAccess(location.Module, bank, row, write, now+fillLat)
+	if len(c.ffSwaps) > 0 {
+		c.drainFFSwaps(now)
+	}
+	c.ffNow = -1
+	return lat
+}
+
+// drainFFSwaps commits every swap the policy requested during the current
+// FunctionalAccess: the same remap, counters, STC dirtying and OnSwapDone
+// notification the event path performs on swap completion, with the
+// channel charged functionally.
+func (c *Controller) drainFFSwaps(now int64) {
+	for i := 0; i < len(c.ffSwaps); i++ {
+		s := c.ffSwaps[i]
+		loc := c.permAt(s.group, s.slot)
+		chIdx := c.layout.Channel(s.group)
+		m1Slot := int(c.m1[s.group])
+		ch := c.chans[chIdx]
+		toSwapLoc := func(l Location) mem.SwapLocation {
+			geom := ch.Config().Geom(l.Module)
+			bank, row := geom.Decompose(l.ByteAddr)
+			return mem.SwapLocation{Module: l.Module, Bank: bank, Row: row}
+		}
+		ch.FunctionalSwap(toSwapLoc(c.layout.LocationOf(s.group, 0)),
+			toSwapLoc(c.layout.LocationOf(s.group, loc)), now)
+
+		c.perm[s.group*c.slots+int64(s.slot)] = 0
+		c.perm[s.group*c.slots+int64(m1Slot)] = uint8(loc)
+		c.m1[s.group] = uint8(s.slot)
+		c.swapping[s.group] = false
+		c.SwapsDone++
+		c.stcs[chIdx].MarkDirty(s.group)
+
+		region := c.layout.Region(s.group)
+		private := c.alloc.IsAnyPrivate(region)
+		ownerM1 := c.alloc.Owner(s.group, m1Slot)
+		ownerM2 := c.alloc.Owner(s.group, s.slot)
+		if ownerM2 >= 0 && ownerM2 < len(c.Cores) {
+			c.Cores[ownerM2].Swaps++
+		}
+		c.policy.OnSwapDone(region, private, ownerM1, ownerM2)
+	}
+	c.ffSwaps = c.ffSwaps[:0]
+}
+
+// Quiesced reports whether the controller holds no in-flight state — no
+// coalesced ST misses waiting on fills and no queued or in-flight channel
+// requests. After the event calendar drains this always holds; exposed so
+// the sampled run loop can assert the fast-forward precondition.
+func (c *Controller) Quiesced() bool {
+	if len(c.pendingST) != 0 {
+		return false
+	}
+	for _, ch := range c.chans {
+		if !ch.Quiesced() {
+			return false
+		}
+	}
+	return true
 }
 
 // ScheduleSwap implements PolicyContext: swap block (group, slot) with the
@@ -747,6 +910,12 @@ func (c *Controller) ScheduleSwap(group int64, slot int) bool {
 		return false
 	}
 	c.swapping[group] = true
+	if c.ffNow >= 0 {
+		// Fast-forward span: defer to drainFFSwaps, which commits the swap
+		// functionally right after the access that requested it.
+		c.ffSwaps = append(c.ffSwaps, ffSwap{group: group, slot: slot})
+		return true
+	}
 	chIdx := c.layout.Channel(group)
 	m1Slot := int(c.m1[group])
 	m1Location := c.layout.LocationOf(group, 0)

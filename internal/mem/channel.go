@@ -88,6 +88,11 @@ type bank struct {
 	hitStreak          int
 	inflight           bool
 	refreshSeen        int64 // last refresh window applied to this bank
+	// [refClearAt, refNextAt) spans the part of the bank's current refresh
+	// window where an access needs no refresh bookkeeping at all — the
+	// common case, reduced to two compares instead of a 64-bit division.
+	refClearAt int64
+	refNextAt  int64
 }
 
 // Channel models one memory channel: two module bank arrays, a shared data
@@ -99,6 +104,7 @@ type Channel struct {
 	inj   *fault.Injector
 
 	banks        [2][]bank
+	timing       [2]Timing // per-kind timings, resolved once at build
 	busFreeAt    int64
 	blockedUntil int64  // swaps block the whole channel
 	queue        []qent // pending requests in age order
@@ -123,6 +129,7 @@ func NewChannel(cfg ChannelConfig, sched event.Scheduler) *Channel {
 		cfg.RowHitCap = 4
 	}
 	ch := &Channel{cfg: cfg, sched: sched}
+	ch.timing = [2]Timing{cfg.Timing(Kind(0)), cfg.Timing(Kind(1))}
 	for k := 0; k < 2; k++ {
 		g := ch.cfg.Geom(Kind(k))
 		ch.banks[k] = make([]bank, g.Banks)
@@ -289,11 +296,49 @@ func (ch *Channel) pick() int {
 	return firstReady
 }
 
+// refresh applies the refresh-window bookkeeping shared by the event-driven
+// and functional paths: a command starting inside a window's TRFC stall is
+// pushed past it, and any refresh since the bank's last use closes its rows
+// and is counted (once per channel, via refCounted). The per-bank
+// [refClearAt, refNextAt) memo marks the span of the bank's current window
+// where none of that can apply, so the common repeat access costs two
+// compares instead of a division; whenever refreshSeen was set to win the
+// refCounted update ran in the same block, so the fast path can never skip
+// a counter increment.
+func (ch *Channel) refresh(k Kind, t *Timing, b *bank, start int64) int64 {
+	if t.TREFI <= 0 {
+		return start
+	}
+	if start >= b.refClearAt && start < b.refNextAt {
+		return start
+	}
+	win := start / t.TREFI
+	if rEnd := win*t.TREFI + t.TRFC; start < rEnd && win > 0 {
+		start = rEnd
+	}
+	if win > b.refreshSeen {
+		b.refreshSeen = win
+		b.openRow = -1
+		b.hitStreak = 0
+	}
+	if win > ch.refCounted[k] {
+		ch.Counts.Refreshes[k] += win - ch.refCounted[k]
+		ch.refCounted[k] = win
+	}
+	b.refNextAt = (win + 1) * t.TREFI
+	if win > 0 {
+		b.refClearAt = win*t.TREFI + t.TRFC
+	} else {
+		b.refClearAt = 0
+	}
+	return start
+}
+
 // issue performs the timing computation for one request and schedules its
 // completion.
 func (ch *Channel) issue(now int64, r *Request) {
 	k := r.Module
-	t := ch.cfg.Timing(k)
+	t := &ch.timing[k]
 	b := &ch.banks[k][r.Bank]
 
 	start := now
@@ -302,21 +347,7 @@ func (ch *Channel) issue(now int64, r *Request) {
 	}
 	// Refresh: landing inside a refresh window stalls past it; any
 	// refresh since the bank's last use closed its rows.
-	if t.TREFI > 0 {
-		win := start / t.TREFI
-		if rEnd := win*t.TREFI + t.TRFC; start < rEnd && win > 0 {
-			start = rEnd
-		}
-		if win > b.refreshSeen {
-			b.refreshSeen = win
-			b.openRow = -1
-			b.hitStreak = 0
-		}
-		if win > ch.refCounted[k] {
-			ch.Counts.Refreshes[k] += win - ch.refCounted[k]
-			ch.refCounted[k] = win
-		}
-	}
+	start = ch.refresh(k, t, b, start)
 	if b.openRow == r.Row {
 		ch.Counts.RowHits[k]++
 		b.hitStreak++
@@ -364,6 +395,173 @@ func (ch *Channel) issue(now int64, r *Request) {
 		}
 	}
 	ch.sched.Schedule(done, ch, chEvComplete, r)
+}
+
+// FunctionalAccess serves one 64-B access without the event-driven
+// scheduler: the fast-forward path of the sampled execution mode. Bank
+// row-buffer state, refresh accounting, demand counts and M2 wear update
+// exactly as issue() would, but no completion event is scheduled and the
+// FR-FCFS queue is bypassed — requests are charged in arrival order
+// against the bank and bus occupancy the channel carries at `now`, which
+// is the closed-form latency estimate: the unloaded timing plus the
+// (bounded) residual backlog. Because it reads and extends the same
+// busFreeAt/busyUntil state the detailed mode uses, occupancy carries
+// seamlessly across the detailed/fast-forward boundary in both
+// directions; the backlog bound (see the clamp below) is what keeps that
+// hand-off honest. Returns the access latency in cycles. Fault injection
+// does not apply (faults fire only in detailed windows).
+func (ch *Channel) FunctionalAccess(k Kind, bankIdx int, row int64, write bool, now int64) int64 {
+	t := &ch.timing[k]
+	b := &ch.banks[k][bankIdx]
+
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	if ch.blockedUntil > start {
+		start = ch.blockedUntil
+	}
+	start = ch.refresh(k, t, b, start)
+	if b.openRow == row {
+		ch.Counts.RowHits[k]++
+		b.hitStreak++
+	} else {
+		ch.Counts.RowMisses[k]++
+		if b.openRow >= 0 {
+			if b.writeRecoveryUntil > start {
+				start = b.writeRecoveryUntil
+			}
+			start += t.TRP
+			ch.Counts.Precharges[k]++
+		}
+		start += t.TRCD
+		ch.Counts.Activates[k]++
+		b.openRow = row
+		b.hitStreak = 0
+	}
+	dataAt := start + t.CL
+	if dataAt < ch.busFreeAt {
+		dataAt = ch.busFreeAt
+	}
+	done := dataAt + t.Burst
+	ch.busFreeAt = done
+	ch.BusBusyCycles += t.Burst
+	b.busyUntil = done
+	if write {
+		b.writeRecoveryUntil = done + t.TWR
+		ch.Counts.Writes[k]++
+		if k == M2 {
+			ch.noteM2Write(bankIdx, row, 1)
+		}
+	} else {
+		ch.Counts.Reads[k]++
+	}
+	// Bound the backlog. Functional arrivals are paced by measured IPC,
+	// not by completions, so nothing throttles them when they momentarily
+	// exceed the channel's service rate — without a bound the occupancy
+	// horizons would drift arbitrarily far ahead of the functional clock
+	// and poison the next detailed window with a phantom queue the real
+	// machine never builds (the cores' outstanding-request limit throttles
+	// it). One worst-case service beyond `now` is the most demand backlog a
+	// functional charge may leave behind.
+	//
+	// Swap blocking is different: it is real, seconds-scale channel
+	// unavailability the detailed machine also builds (a swap blocks the
+	// whole channel for SwapLatency and nothing about a core throttles it),
+	// so the demand clamp must never cut into the swap horizon — erasing it
+	// makes fast-forward spans nearly swap-free and the detailed windows
+	// absorb the deferred blocking as phantom extra contention. The swap
+	// horizon has its own bound in ffClampSwapHorizon.
+	lead := now + t.TRP + t.TRCD + t.CL + t.Burst + t.TWR
+	if ch.blockedUntil > lead {
+		lead = ch.blockedUntil
+	}
+	if ch.busFreeAt > lead {
+		ch.busFreeAt = lead
+	}
+	if b.busyUntil > lead {
+		b.busyUntil = lead
+	}
+	if b.writeRecoveryUntil > lead {
+		b.writeRecoveryUntil = lead
+	}
+	return done - now
+}
+
+// ffSwapLeads bounds how far the swap-blocking horizon may run ahead of
+// the functional clock, in whole swap latencies: the real machine's
+// negative feedback (a blocked channel stalls cores, fewer accesses
+// trigger fewer swaps) caps the swap queue at about this depth, and the
+// paced functional arrivals lack that feedback.
+const ffSwapLeads = 2
+
+// ffClampSwapHorizon applies the swap-horizon bound after a functional
+// swap charge.
+func (ch *Channel) ffClampSwapHorizon(now int64) {
+	lead := now + ffSwapLeads*ch.cfg.SwapLatency()
+	if ch.blockedUntil > lead {
+		ch.blockedUntil = lead
+	}
+	if ch.busFreeAt > lead {
+		ch.busFreeAt = lead
+	}
+}
+
+// FunctionalSwap performs one block swap functionally at time `now`: the
+// same counts, wear tallies and bank perturbation as Swap, with the
+// blocking horizon folded into the occupancy state instead of an event.
+// Returns the swap's completion time.
+func (ch *Channel) FunctionalSwap(m1Loc, m2Loc SwapLocation, now int64) int64 {
+	start := now
+	if ch.busFreeAt > start {
+		start = ch.busFreeAt
+	}
+	if ch.blockedUntil > start {
+		start = ch.blockedUntil
+	}
+	end := start + ch.cfg.SwapLatency()
+	ch.blockedUntil = end
+	ch.busFreeAt = end
+	ch.Counts.Swaps++
+	ch.Counts.SwapBusy += end - start
+
+	n := ch.cfg.BlockBytes / 64
+	ch.Counts.SwapReads[M1] += n
+	ch.Counts.SwapReads[M2] += n
+	ch.Counts.SwapWrites[M1] += n
+	ch.Counts.SwapWrites[M2] += n
+	ch.noteM2Write(m2Loc.Bank, m2Loc.Row, n)
+	ch.Counts.Activates[M1]++
+	ch.Counts.Activates[M2]++
+
+	closeBank := func(loc SwapLocation) {
+		b := &ch.banks[loc.Module][loc.Bank]
+		b.openRow = -1
+		b.hitStreak = 0
+		if b.busyUntil < end {
+			b.busyUntil = end
+		}
+	}
+	closeBank(m1Loc)
+	closeBank(m2Loc)
+	ch.ffClampSwapHorizon(now)
+	return end
+}
+
+// Quiesced reports whether the channel holds no queued or in-flight
+// requests — the precondition for entering a fast-forward span.
+func (ch *Channel) Quiesced() bool {
+	if len(ch.queue) != 0 {
+		return false
+	}
+	for k := 0; k < 2; k++ {
+		for i := range ch.banks[k] {
+			if ch.banks[k][i].inflight {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // SwapLocation names one 2-KB block's physical placement for a swap.

@@ -1,0 +1,148 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchedulePinsCalibrationWindow(t *testing.T) {
+	s := NewSchedule(0.1, 30_000, 42)
+	start, end := s.WindowAt(0)
+	if start != 0 || end != 30_000 {
+		t.Fatalf("window 0 = [%d, %d), want [0, 30000): calibration must precede any fast-forward", start, end)
+	}
+}
+
+func TestScheduleWindowsStayInPeriod(t *testing.T) {
+	for _, fr := range []float64{0.01, 0.05, 0.25, 0.5, 0.99} {
+		s := NewSchedule(fr, 10_000, 7)
+		wantPeriod := int64(math.Round(10_000 / fr))
+		if s.Period != wantPeriod {
+			t.Errorf("fraction %g: period %d, want %d", fr, s.Period, wantPeriod)
+		}
+		for i := int64(1); i < 200; i++ {
+			start, end := s.WindowAt(i)
+			if start < i*s.Period || end > (i+1)*s.Period {
+				t.Fatalf("fraction %g window %d = [%d, %d) escapes period [%d, %d)",
+					fr, i, start, end, i*s.Period, (i+1)*s.Period)
+			}
+			if end-start != s.Window {
+				t.Fatalf("fraction %g window %d has length %d, want %d", fr, i, end-start, s.Window)
+			}
+		}
+	}
+}
+
+func TestScheduleDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewSchedule(0.1, 30_000, 42)
+	b := NewSchedule(0.1, 30_000, 42)
+	c := NewSchedule(0.1, 30_000, 43)
+	var differs bool
+	for i := int64(0); i < 100; i++ {
+		as, ae := a.WindowAt(i)
+		bs, be := b.WindowAt(i)
+		if as != bs || ae != be {
+			t.Fatalf("window %d differs across identical schedules: [%d,%d) vs [%d,%d)", i, as, ae, bs, be)
+		}
+		if cs, _ := c.WindowAt(i); cs != as {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 place all 100 windows identically; offsets are not seed-driven")
+	}
+}
+
+func TestScheduleOffsetsSpreadAcrossPeriod(t *testing.T) {
+	// With period 10x window the free span is 9 windows wide; 500 draws
+	// must land in both the low and high thirds or the stream is biased.
+	s := NewSchedule(0.1, 1_000, 1)
+	span := s.Period - s.Window
+	var low, high int
+	for i := int64(1); i <= 500; i++ {
+		start, _ := s.WindowAt(i)
+		off := start - i*s.Period
+		if off < span/3 {
+			low++
+		}
+		if off > 2*span/3 {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("offsets never reached a third of the span (low %d, high %d of 500)", low, high)
+	}
+}
+
+func TestScheduleDegenerateWindow(t *testing.T) {
+	s := NewSchedule(0.5, 0, 9)
+	if s.Window != 1 || s.Period < s.Window {
+		t.Errorf("degenerate window: got window %d period %d", s.Window, s.Period)
+	}
+}
+
+func TestEstimatorMeanAndCI(t *testing.T) {
+	e := NewEstimator(2)
+	samples := [][]float64{{1, 10}, {2, 10}, {3, 10}, {4, 10}}
+	for _, s := range samples {
+		e.Add(s)
+	}
+	if e.Windows() != 4 {
+		t.Fatalf("windows = %d, want 4", e.Windows())
+	}
+	if got := e.Mean(0); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("mean(0) = %g, want 2.5", got)
+	}
+	if got := e.Mean(1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("mean(1) = %g, want 10", got)
+	}
+	// Program 0: sample sd = sqrt(5/3); CI = 1.96*sd/2.
+	want := 1.96 * math.Sqrt(5.0/3.0) / 2
+	if got := e.CI95(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95(0) = %g, want %g", got, want)
+	}
+	if got := e.CI95(1); got != 0 {
+		t.Errorf("CI95(1) = %g, want 0 for constant samples", got)
+	}
+}
+
+func TestEstimatorCIZeroBelowTwoWindows(t *testing.T) {
+	e := NewEstimator(1)
+	if e.CI95(0) != 0 {
+		t.Error("CI95 nonzero with no windows")
+	}
+	e.Add([]float64{1})
+	if e.CI95(0) != 0 {
+		t.Error("CI95 nonzero with one window")
+	}
+}
+
+func TestEstimatorPaceTracksRecentWindows(t *testing.T) {
+	// A program that ramps from IPC 0.1 to 1.0: the pace must follow the
+	// recent speed, not the lifetime mean (which the cold windows drag to
+	// ~0.55, a 1.8x slower pace).
+	e := NewEstimator(1)
+	e.Add([]float64{0.1})
+	for i := 0; i < 10; i++ {
+		e.Add([]float64{1.0})
+	}
+	pace := e.Pace(0, 1)
+	if pace > 1.1 {
+		t.Errorf("pace %g tracks the lifetime mean, not the recent windows (want ~1.0)", pace)
+	}
+	// Two threads share the program's IPC: per-thread pace doubles.
+	if got := e.Pace(0, 2); math.Abs(got-2*pace) > 1e-9 {
+		t.Errorf("pace at 2 threads = %g, want %g", got, 2*pace)
+	}
+}
+
+func TestEstimatorPaceFloorsStarvedPrograms(t *testing.T) {
+	e := NewEstimator(1)
+	e.Add([]float64{0})
+	if pace := e.Pace(0, 1); pace > 1/minPaceIPC+1 || math.IsInf(pace, 1) {
+		t.Errorf("starved program's pace = %g; must be floored, not infinite", pace)
+	}
+	if pace := e.Pace(0, 0); math.IsInf(pace, 1) || math.IsNaN(pace) {
+		t.Errorf("pace with 0 threads = %g", pace)
+	}
+}

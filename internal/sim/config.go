@@ -51,6 +51,21 @@ type Config struct {
 	// MaxCycles is a safety stop (0 = no limit).
 	MaxCycles int64
 
+	// SampleFraction, when in (0, 1), enables the interval-sampling
+	// execution mode: only that fraction of simulated time runs under the
+	// full cycle model (short detailed windows on a seeded deterministic
+	// schedule), and the spans between windows fast-forward functionally —
+	// cores replay their generators against closed-form channel latencies
+	// while all history-carrying state keeps warming. 0 (the default) and
+	// any value >= 1 run the classic full-fidelity simulation; a fraction
+	// of exactly 1.0 is therefore byte-identical to a full run by
+	// construction. Sampling is a semantic knob (results are estimates),
+	// so it participates in run-cache keys — but only when active.
+	SampleFraction float64
+	// SampleWindow is the detailed-window length in cycles for the
+	// sampled mode (DefaultSampleWindow when 0).
+	SampleWindow int64
+
 	ModelSTTraffic bool
 	Seed           uint64
 	// Scale records the capacity scale relative to the paper's system
@@ -186,6 +201,33 @@ func scaleCount(base int, scale float64, quantum int) int {
 	return v
 }
 
+// DefaultSampleWindow is the detailed-window length of the sampled
+// execution mode when Config.SampleWindow is 0. The restart transient
+// after each fast-forward span decays in absolute time (~26 kilocycles,
+// set by the swap latency; see warmupCycles), so windows must be long
+// enough that the measured span dominates the warm-up; 240k was the
+// accuracy/speedup sweet spot in the window sweep behind
+// testdata/sample_envelope.json. Short diagnostic runs that need many
+// windows should set Config.SampleWindow explicitly.
+const DefaultSampleWindow int64 = 240_000
+
+// SamplingOn reports whether the interval-sampling execution mode is
+// active: a fraction strictly between 0 and 1. Zero disables it; 1 (or
+// more) means "sample everything", which is served by the classic full
+// run and is byte-identical to it.
+func (c Config) SamplingOn() bool {
+	return c.SampleFraction > 0 && c.SampleFraction < 1
+}
+
+// EffectiveSampleWindow resolves the detailed-window length, applying the
+// default.
+func (c Config) EffectiveSampleWindow() int64 {
+	if c.SampleWindow > 0 {
+		return c.SampleWindow
+	}
+	return DefaultSampleWindow
+}
+
 // Validate sanity-checks a configuration.
 func (c Config) Validate() error {
 	if c.Cores <= 0 {
@@ -214,6 +256,20 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("sim: negative shard count %d", c.Shards)
+	}
+	if c.SampleFraction < 0 || c.SampleFraction != c.SampleFraction {
+		return fmt.Errorf("sim: sample fraction %v must be non-negative (0 disables sampling, >= 1 runs full fidelity)", c.SampleFraction)
+	}
+	if c.SampleWindow < 0 {
+		return fmt.Errorf("sim: negative sample window %d", c.SampleWindow)
+	}
+	if c.SamplingOn() {
+		if c.Clusters > 1 {
+			return fmt.Errorf("sim: interval sampling (fraction %v) cannot run on a clustered machine (%d clusters): the epoch-barrier engine has no fast-forward mode — drop Clusters or SampleFraction", c.SampleFraction, c.Clusters)
+		}
+		if c.TelemetryEvery > 0 {
+			return fmt.Errorf("sim: interval sampling (fraction %v) cannot run with telemetry (epoch %d): epochs inside fast-forward spans would sample half-advanced state — drop TelemetryEvery or SampleFraction", c.SampleFraction, c.TelemetryEvery)
+		}
 	}
 	if c.Clusters > 1 {
 		n := c.Clusters

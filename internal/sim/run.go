@@ -96,7 +96,11 @@ type CoreResult struct {
 	// FirstIPC is the instruction budget over the first-completion time —
 	// the quantity slowdowns are computed from: with the same budget in
 	// the stand-alone run, cold-start effects cancel in the ratio.
-	FirstIPC   float64
+	FirstIPC float64
+	// IPCCI95 is the 95% confidence half-width on IPC estimated from the
+	// per-window samples of an interval-sampled run (Config.SampleFraction
+	// in (0,1)); 0 for full-fidelity runs, where IPC is exact.
+	IPCCI95    float64
 	Served     int64
 	M1Fraction float64
 	AvgReadLat float64
@@ -135,6 +139,9 @@ type Result struct {
 	SwapFraction float64
 	L3HitRate    float64
 	TimedOut     bool
+	// Sampling records the interval-sampling parameters and window count
+	// when the run executed on the sampled tier; zero for full runs.
+	Sampling SampleInfo
 	// Resilience tallies fault injection and graceful degradation; zero
 	// for a fault-free run.
 	Resilience stats.Resilience
@@ -310,6 +317,9 @@ func (s *System) buildCores() error {
 			if spec.threads() > 1 {
 				return fmt.Errorf("sim: %s: a replay Source cannot drive multiple threads", spec.Name)
 			}
+			if s.Cfg.SamplingOn() {
+				return fmt.Errorf("sim: %s: interval sampling does not support trace replay Sources; run the capture at full fidelity (SampleFraction 0 or 1)", spec.Name)
+			}
 			spec.Params.Footprint = spec.Source.Footprint()
 		}
 		// One address space per program, shared by its threads.
@@ -413,6 +423,9 @@ func (s *System) Run() (*Result, error) { return s.RunContext(context.Background
 // or a pathological fault plan) is aborted with an error instead of
 // spinning forever.
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
+	if s.Cfg.SamplingOn() {
+		return s.runSampled(ctx)
+	}
 	remaining := s.startCores(nil)
 	timedOut := false
 	var (

@@ -150,8 +150,24 @@ func cacheable(cfg Config, specs []ProgramSpec) bool {
 // contract TestShardCountSweepByteIdentical pins), so -shards 1 and
 // -shards 8 runs of the same cell share one cache entry. Clusters, by
 // contrast, changes the simulated topology and stays in the key.
+//
+// The sampling fields are normalised too, but differently, because
+// sampling is semantic, not a speed knob: when sampling is off — fraction
+// 0, or >= 1, which the engine serves with the classic full run,
+// byte-identically by construction — every spelling collapses to the
+// canonical zero fields and shares the full run's entry (the window is
+// irrelevant when no window ever runs). An active fraction stays in the
+// key verbatim — a sampled Result is an estimate, never interchangeable
+// with the full run's — with the window resolved to its effective value
+// so SampleWindow 0 and an explicit DefaultSampleWindow hash identically.
+// TestRunKeySamplingNormalised pins both directions.
 func runKey(cfg Config, specs []ProgramSpec, scheme Scheme) string {
 	cfg.Shards = 0
+	if !cfg.SamplingOn() {
+		cfg.SampleFraction, cfg.SampleWindow = 0, 0
+	} else {
+		cfg.SampleWindow = cfg.EffectiveSampleWindow()
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%#v\x00", scheme, cfg)
 	for _, s := range specs {

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"profess/internal/sim"
 	"profess/internal/trace"
 )
 
@@ -67,5 +68,62 @@ func checkHashable(t *testing.T, typ reflect.Type, path string, visiting map[ref
 		return
 	default:
 		t.Errorf("%s has unexpected kind %s: extend TestRunKeyHashableFields deliberately before caching it", path, typ.Kind())
+	}
+}
+
+// TestRunKeySamplingNormalised pins runKey's treatment of the sampling
+// fields, in both directions:
+//
+//   - Off is off: fraction 0 (never set), fraction 1 (explicit "sample
+//     everything", served by the classic full run byte-identically) and
+//     any fraction above 1 must all share the full run's key, whatever
+//     junk the window field carries — otherwise equivalent spellings of
+//     the same simulation would fragment the cache.
+//   - On is semantic: an active fraction must split from the full key and
+//     from other fractions, and the window must participate resolved —
+//     SampleWindow 0 and an explicit DefaultSampleWindow are one cell,
+//     a genuinely different window is another.
+func TestRunKeySamplingNormalised(t *testing.T) {
+	specs, err := sim.SpecsForPrograms([]string{"lbm"}, PaperScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MultiCoreConfig(PaperScale)
+	key := func(mutate func(*Config)) string {
+		cfg := base
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return runKey(cfg, specs, SchemeProFess)
+	}
+
+	full := key(nil)
+	for _, c := range []struct {
+		name     string
+		fraction float64
+		window   int64
+	}{
+		{"fraction 1 is the full run", 1, 0},
+		{"fraction 1 ignores the window", 1, 999},
+		{"fraction above 1 is the full run", 4, 0},
+		{"window without a fraction is inert", 0, 60_000},
+	} {
+		if got := key(func(cfg *Config) { cfg.SampleFraction = c.fraction; cfg.SampleWindow = c.window }); got != full {
+			t.Errorf("%s: key split from the full run's", c.name)
+		}
+	}
+
+	sampled := key(func(cfg *Config) { cfg.SampleFraction = 0.05 })
+	if sampled == full {
+		t.Error("an active sample fraction must split the key: estimates are not the full run's bytes")
+	}
+	if got := key(func(cfg *Config) { cfg.SampleFraction = 0.05; cfg.SampleWindow = sim.DefaultSampleWindow }); got != sampled {
+		t.Error("SampleWindow 0 and an explicit DefaultSampleWindow are the same cell")
+	}
+	if got := key(func(cfg *Config) { cfg.SampleFraction = 0.1 }); got == sampled {
+		t.Error("different fractions hashed to one key")
+	}
+	if got := key(func(cfg *Config) { cfg.SampleFraction = 0.05; cfg.SampleWindow = 2 * sim.DefaultSampleWindow }); got == sampled {
+		t.Error("different windows hashed to one key")
 	}
 }

@@ -81,6 +81,10 @@ type SweepPlan struct {
 	// Pruned lists cells removed by Prune; ExecuteOpts serves each one by
 	// aliasing its representative's result.
 	Pruned []PrunedCell
+	// Sampled lists cells rewritten to the interval-sampling tier by
+	// Sample; ExecuteOpts serves each original full-fidelity key by
+	// aliasing the sampled result.
+	Sampled []SampledCell
 }
 
 // PlannedExperiment names one experiment and the driver invocation that
@@ -450,6 +454,72 @@ func (p *SweepPlan) Prune(margin float64) []PrunedCell {
 	return pruned
 }
 
+// SampledCell records one plan cell Sample rewrote to the sampled tier.
+type SampledCell struct {
+	// FullKey is the cell's original full-fidelity run-cache key — the key
+	// the render phase will ask for. Key is the sampled cell's key, the
+	// simulation that actually executes.
+	FullKey string
+	Key     string
+	Scheme  Scheme
+	// Experiments lists the plan requests that needed this cell.
+	Experiments []string
+}
+
+// Sample rewrites every eligible plan cell to the interval-sampling tier:
+// the cell simulates with the given detailed fraction (and window; 0 means
+// DefaultSampleWindow), and the executor serves the original full-fidelity
+// key by aliasing the sampled result (see ExecuteOpts) so the render phase
+// — which re-invokes the drivers with their full-fidelity configs — reads
+// the sampled figures transparently.
+//
+// This is the sweep's fidelity dial, and unlike Prune it is lossy by
+// construction: a sampled Result estimates IPC and the latency statistics
+// (with per-program confidence intervals; accuracy envelope in
+// testdata/sample_envelope.json), so the aliases live only in this
+// process's cache tier and are never persisted — a later full-fidelity
+// sweep of the same cells simulates them honestly. Cells that cannot
+// sample (clustered machines; see Config.Validate) keep full fidelity and
+// are simply not rewritten. Call Sample after Prune: pruned-cell
+// representative keys are re-pointed at the sampled cells, while the
+// pruned keys themselves stay full-fidelity keys for the render phase.
+// The rewritten plan hashes (and therefore journals) differently from the
+// full-fidelity plan, so resumed sweeps never mix the two tiers.
+func (p *SweepPlan) Sample(fraction float64, window int64) []SampledCell {
+	if !(fraction > 0 && fraction < 1) {
+		return nil
+	}
+	var sampled []SampledCell
+	rewritten := map[string]string{}
+	for i := range p.Cells {
+		c := &p.Cells[i]
+		cfg := c.Cfg
+		cfg.SampleFraction = fraction
+		cfg.SampleWindow = window
+		if cfg.Validate() != nil {
+			continue
+		}
+		key := runKey(cfg, c.Specs, c.Scheme)
+		sampled = append(sampled, SampledCell{
+			FullKey:     c.Key,
+			Key:         key,
+			Scheme:      c.Scheme,
+			Experiments: c.Experiments,
+		})
+		rewritten[c.Key] = key
+		c.Cfg = cfg
+		c.Key = key
+	}
+	for i := range p.Pruned {
+		if k, ok := rewritten[p.Pruned[i].RepKey]; ok {
+			p.Pruned[i].RepKey = k
+		}
+	}
+	sort.Slice(sampled, func(i, j int) bool { return sampled[i].FullKey < sampled[j].FullKey })
+	p.Sampled = append(p.Sampled, sampled...)
+	return sampled
+}
+
 // ExecOptions tunes SweepPlan.ExecuteOpts. The zero value gives a
 // GOMAXPROCS pool with the durability defaults below.
 type ExecOptions struct {
@@ -523,6 +593,9 @@ type ExecReport struct {
 	// Pruned counts cells served by aliasing their representative's
 	// result instead of simulating (see SweepPlan.Prune).
 	Pruned int
+	// Sampled counts full-fidelity keys served by aliasing their sampled
+	// cell's result (see SweepPlan.Sample).
+	Sampled int
 	// JournalPath is the shared journal file ("" when executing without
 	// a persistent cache directory).
 	JournalPath string
@@ -896,6 +969,40 @@ func (p *SweepPlan) ExecuteOpts(ctx context.Context, opts ExecOptions) (*ExecRep
 		}()
 	}
 	wg.Wait()
+
+	// Serve sampled cells: alias each original full-fidelity key to its
+	// sampled cell's completed result in the in-process cache tier, so the
+	// render phase — which asks for the full-fidelity keys — reads the
+	// sampled figures without simulating. A sampled cell that did not
+	// complete leaves its full key unaliased and the render phase
+	// simulates it at full fidelity — slower, but never wrong.
+	if len(p.Sampled) > 0 && ctx.Err() == nil {
+		byKey := make(map[string]*PlanCell, len(p.Cells))
+		for i := range p.Cells {
+			byKey[p.Cells[i].Key] = &p.Cells[i]
+		}
+		for _, sc := range p.Sampled {
+			cell := byKey[sc.Key]
+			if cell == nil {
+				continue
+			}
+			st.mu.Lock()
+			i, ok := st.byKey[sc.Key]
+			done := ok && st.status[i] == cellDone
+			st.mu.Unlock()
+			if !done {
+				continue
+			}
+			res, err := runSimCtx(ctx, cell.Cfg, cell.Specs, cell.Scheme)
+			if err != nil {
+				continue // the sampled cell's own failure surfaces below
+			}
+			theRunCache.installAlias(sc.FullKey, res)
+			st.mu.Lock()
+			st.rep.Sampled++
+			st.mu.Unlock()
+		}
+	}
 
 	// Serve pruned cells: alias each to its representative's completed
 	// result in the in-process cache tier, so the render phase reads the
